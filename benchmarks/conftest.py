@@ -1,0 +1,69 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Each ``benchmarks/test_*.py`` file regenerates one artefact of the
+paper's §7 (Table 5, Figures 7–11).  The pytest-benchmark suite runs a
+*reduced* grid so it completes in minutes on a laptop; the full scaled
+grids (DESIGN.md §4) live in ``benchmarks/run_experiments.py``, which
+regenerates the EXPERIMENTS.md measurement blocks.
+
+Protocol per benchmark: build the monitor, prime the window to capacity
+(untimed), then measure ``monitor.update(batch)`` on successive arrival
+batches — the paper's "average computation time to update s*".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.bench import ExperimentConfig, build_monitor
+from repro.core.monitor import MaxRSMonitor
+from repro.core.objects import SpatialObject
+from repro.datasets import make_stream
+
+__all__ = ["steady_state", "measure_updates"]
+
+
+def steady_state(
+    cfg: ExperimentConfig, algorithm: str, tighten_mode: str = "off"
+) -> tuple[MaxRSMonitor, Iterator[list[SpatialObject]]]:
+    """A monitor primed to a full window plus its arrival-batch iterator."""
+    monitor = build_monitor(algorithm, cfg, tighten_mode=tighten_mode)
+    stream = iter(make_stream(cfg.dataset, domain=cfg.domain, seed=cfg.seed))
+
+    def take(count: int) -> list[SpatialObject]:
+        batch = []
+        for obj in stream:
+            batch.append(obj)
+            if len(batch) >= count:
+                break
+        return batch
+
+    remaining = cfg.window_size
+    while remaining > 0:
+        chunk = take(min(1000, remaining))
+        if not chunk:
+            break
+        monitor.ingest(chunk)
+        remaining -= len(chunk)
+
+    def arrival_batches() -> Iterator[list[SpatialObject]]:
+        while True:
+            yield take(cfg.batch_size)
+
+    return monitor, arrival_batches()
+
+
+def measure_updates(benchmark, monitor, batches, rounds: int = 3) -> None:
+    """Benchmark one steady-state update per round, fresh batch each time."""
+
+    def setup():
+        return (next(batches),), {}
+
+    def update(batch):
+        return monitor.update(batch)
+
+    result = benchmark.pedantic(
+        update, setup=setup, rounds=rounds, warmup_rounds=1
+    )
+    assert result is not None
+    assert not result.is_empty

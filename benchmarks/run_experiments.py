@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Full experiment harness: regenerate every table and figure (§7).
+
+Runs the complete scaled parameter grids of DESIGN.md §4 over all four
+workloads and prints the rows/series the paper reports — Table 5 and
+Figures 7, 8, 9, 10, 11.  Output is valid Markdown; redirect it into
+EXPERIMENTS.md's measurement section::
+
+    python benchmarks/run_experiments.py               # full grids (slow)
+    python benchmarks/run_experiments.py --quick       # reduced grids
+    python benchmarks/run_experiments.py --only fig7 fig10
+
+Pure-Python absolute numbers are ~50-100x the paper's C++ values; the
+comparisons that matter are the *shapes*: who wins, by what factor, and
+how each curve bends (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import (
+    FIG7_WINDOWS,
+    FIG8_RATES,
+    FIG9_SIDES,
+    FIG10_EPSILONS,
+    FIG11_KS,
+    PAPER_DATASETS,
+    ExperimentConfig,
+    format_rows,
+    run_ablation,
+    run_approx_sweep,
+    run_sweep,
+    run_topk_sweep,
+)
+
+FULL = ExperimentConfig(
+    window_size=10_000, batch_size=100, rect_side=1000.0,
+    domain=140_000.0, batches=3, seed=42,
+)
+QUICK = FULL.with_(window_size=2_000, batches=2)
+
+# per-experiment dataset lists: the heavy skewed workloads get smaller
+# windows in full mode so G2 stays tractable in pure Python
+HEAVY = {"geolife_like", "roma_like"}
+
+
+def _cfg(base: ExperimentConfig, dataset: str) -> ExperimentConfig:
+    cfg = base.with_(dataset=dataset)
+    if dataset in HEAVY and cfg.window_size > 3_000:
+        cfg = cfg.with_(window_size=3_000)
+    return cfg
+
+
+def emit(title: str, body: str) -> None:
+    print(f"\n### {title}\n")
+    print("```")
+    print(body)
+    print("```")
+    sys.stdout.flush()
+
+
+def fig7(base: ExperimentConfig, quick: bool) -> None:
+    windows = (1_000, 2_000, 4_000) if quick else FIG7_WINDOWS
+    # the heavy skewed workloads sweep a proportionally smaller grid so
+    # G2 stays tractable in pure Python (same 1:2.5:5:7.5:10 structure)
+    heavy_windows = tuple(max(500, w // 4) for w in windows)
+    for dataset in PAPER_DATASETS:
+        cfg = _cfg(base, dataset)
+        values = heavy_windows if dataset in HEAVY else windows
+        rows = run_sweep(cfg, "window_size", values)
+        emit(f"Figure 7 — impact of n [{dataset}] (mean ms)", format_rows(rows))
+
+
+def fig8(base: ExperimentConfig, quick: bool) -> None:
+    rates = (50, 200, 1000) if quick else FIG8_RATES
+    for dataset in PAPER_DATASETS:
+        rows = run_sweep(_cfg(base, dataset), "batch_size", rates)
+        emit(f"Figure 8 — impact of m [{dataset}] (mean ms)", format_rows(rows))
+
+
+def fig9(base: ExperimentConfig, quick: bool) -> None:
+    sides = (100.0, 1000.0, 2000.0) if quick else FIG9_SIDES
+    for dataset in PAPER_DATASETS:
+        cfg = _cfg(base, dataset)
+        if dataset in HEAVY:
+            cfg = cfg.with_(window_size=min(cfg.window_size, 2_000))
+        rows = run_sweep(cfg, "rect_side", sides)
+        emit(f"Figure 9 — impact of l [{dataset}] (mean ms)", format_rows(rows))
+
+
+def fig10(base: ExperimentConfig, quick: bool) -> None:
+    epsilons = (0.0, 0.1, 0.3, 0.5) if quick else FIG10_EPSILONS
+    for dataset in PAPER_DATASETS:
+        cfg = _cfg(base, dataset)
+        rows = run_approx_sweep(cfg, epsilons)
+        emit(
+            f"Figure 10 — impact of ε [{dataset}] (aG2 mean ms + practical error)",
+            format_rows(rows),
+        )
+
+
+def fig11(base: ExperimentConfig, quick: bool) -> None:
+    ks = (1, 10, 25, 50) if quick else FIG11_KS
+    for dataset in PAPER_DATASETS:
+        cfg = _cfg(base, dataset)
+        if dataset in HEAVY:
+            cfg = cfg.with_(window_size=min(cfg.window_size, 3_000))
+        rows = run_topk_sweep(cfg, ks)
+        emit(f"Figure 11 — impact of k [{dataset}] (mean ms)", format_rows(rows))
+
+
+def table5(base: ExperimentConfig, quick: bool) -> None:
+    cfg = base.with_(window_size=min(base.window_size, 3_000))
+    rows = run_ablation(cfg, PAPER_DATASETS)
+    emit(
+        "Table 5 — Algorithm 5 ablation (aG2 mean ms per dataset)",
+        format_rows(rows),
+    )
+
+
+EXPERIMENTS = {
+    "table5": table5,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced grids")
+    parser.add_argument(
+        "--only", nargs="*", choices=sorted(EXPERIMENTS), default=None,
+        help="run a subset of experiments",
+    )
+    args = parser.parse_args(argv)
+    base = QUICK if args.quick else FULL
+    chosen = args.only or list(EXPERIMENTS)
+    print(f"## Measured results ({'quick' if args.quick else 'full'} grids)")
+    started = time.time()
+    for name in chosen:
+        t0 = time.time()
+        EXPERIMENTS[name](base, args.quick)
+        print(f"\n_{name} completed in {time.time() - t0:.0f}s_")
+    print(f"\n_total {time.time() - started:.0f}s_")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Design-choice ablations called out in DESIGN.md §5.
+
+Three knobs the paper leaves open (or that we added deliberately):
+
+* **Cell size** — the paper fixes the grid resolution without
+  prescribing it; too-fine grids multiply vertex copies, too-coarse
+  grids destroy pruning locality.  Our default is twice the query side.
+* **Visit order** — we visit candidate cells in decreasing ``c.w`` so
+  the first Rule-1 failure prunes the rest; ``arbitrary`` is the
+  paper's literal reading (each cell tested on its own).
+* **Sampling comparator** — repeated one-time computation of the
+  [25]-style sampled solver, the approximation alternative §7.4 argues
+  against; compare with the ε-approximate aG2 monitor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import measure_updates, steady_state
+from repro.bench import ExperimentConfig
+from repro.core.sampling import SamplingMonitor
+from repro.datasets import make_stream
+from repro.window import CountWindow
+
+CFG = ExperimentConfig(
+    dataset="roma_like",
+    window_size=3_000,
+    batch_size=100,
+    rect_side=1000.0,
+    domain=140_000.0,
+    seed=42,
+)
+
+#: grid resolution as a multiple of the query rectangle side
+CELL_FACTORS = (1.0, 2.0, 4.0, 8.0)
+
+
+@pytest.mark.parametrize("factor", CELL_FACTORS)
+def test_ablation_cell_size(benchmark, factor):
+    benchmark.group = "ablation: grid cell size [roma_like]"
+    benchmark.extra_info.update(
+        {"ablation": "cell_size", "factor": factor}
+    )
+    cfg = CFG.with_(cell_size=factor * CFG.rect_side)
+    monitor, batches = steady_state(cfg, "ag2")
+    measure_updates(benchmark, monitor, batches)
+
+
+@pytest.mark.parametrize("order", ("bound", "arbitrary"))
+def test_ablation_visit_order(benchmark, order):
+    benchmark.group = "ablation: cell visit order [roma_like]"
+    benchmark.extra_info.update({"ablation": "visit_order", "order": order})
+    monitor, batches = steady_state(CFG, "ag2")
+    monitor.visit_order = order  # only affects the timed B&B passes
+    measure_updates(benchmark, monitor, batches)
+
+
+@pytest.mark.parametrize("algorithm", ("approx_ag2", "sampling"))
+def test_ablation_approximation_strategy(benchmark, algorithm):
+    """ε = 0.2 head-to-head: incremental aG2 approximation vs repeated
+    one-time sampled computation (the [25] pattern)."""
+    benchmark.group = "ablation: approximation strategy [roma_like]"
+    benchmark.extra_info.update(
+        {"ablation": "approx_strategy", "algorithm": algorithm}
+    )
+    if algorithm == "approx_ag2":
+        monitor, batches = steady_state(CFG.with_(epsilon=0.2), "ag2")
+    else:
+        monitor = SamplingMonitor(
+            CFG.rect_side,
+            CFG.rect_side,
+            CountWindow(CFG.window_size),
+            epsilon=0.2,
+            seed=CFG.seed,
+        )
+        stream = iter(
+            make_stream(CFG.dataset, domain=CFG.domain, seed=CFG.seed)
+        )
+
+        def take(count):
+            out = []
+            for obj in stream:
+                out.append(obj)
+                if len(out) >= count:
+                    break
+            return out
+
+        monitor.ingest(take(CFG.window_size))
+
+        def arrival_batches():
+            while True:
+                yield take(CFG.batch_size)
+
+        batches = arrival_batches()
+    measure_updates(benchmark, monitor, batches)

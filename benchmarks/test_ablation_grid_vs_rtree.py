@@ -1,0 +1,75 @@
+"""Ablation: grid (G2) vs R-tree neighbour indexing under stream churn.
+
+The paper's §4.1 justifies the grid with a citation: *"When dataset
+updates frequently occur, grid structure is more suitable than complex
+structures like R-tree and Quad-tree [4]."*  This benchmark reproduces
+the claim: the same incremental graph monitor runs once over the grid
+(G2) and once over a dynamic R-tree (insert + condense-delete per
+object), at increasing churn rates.  The R-tree's per-object delete
+cascade is what falls behind as ``m`` grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import measure_updates, steady_state
+from repro.bench import ExperimentConfig
+from repro.core.rtree_monitor import RTreeMonitor
+from repro.datasets import make_stream
+from repro.window import CountWindow
+
+RATES = (50, 200, 1000)
+
+BASE = ExperimentConfig(
+    dataset="synthetic",
+    window_size=4_000,
+    batch_size=100,
+    rect_side=1000.0,
+    domain=140_000.0,
+    seed=42,
+)
+
+
+def _rtree_steady(cfg: ExperimentConfig):
+    monitor = RTreeMonitor(
+        cfg.rect_side, cfg.rect_side, CountWindow(cfg.window_size)
+    )
+    stream = iter(make_stream(cfg.dataset, domain=cfg.domain, seed=cfg.seed))
+
+    def take(count):
+        out = []
+        for obj in stream:
+            out.append(obj)
+            if len(out) >= count:
+                break
+        return out
+
+    remaining = cfg.window_size
+    while remaining > 0:
+        chunk = take(min(1000, remaining))
+        if not chunk:
+            break
+        monitor.ingest(chunk)
+        remaining -= len(chunk)
+
+    def arrival_batches():
+        while True:
+            yield take(cfg.batch_size)
+
+    return monitor, arrival_batches()
+
+
+@pytest.mark.parametrize("rate", RATES)
+@pytest.mark.parametrize("index", ("grid", "rtree"))
+def test_ablation_grid_vs_rtree(benchmark, rate, index):
+    benchmark.group = f"ablation: grid vs rtree m={rate} [synthetic]"
+    benchmark.extra_info.update(
+        {"ablation": "grid_vs_rtree", "index": index, "m": rate}
+    )
+    cfg = BASE.with_(batch_size=rate)
+    if index == "grid":
+        monitor, batches = steady_state(cfg, "g2")
+    else:
+        monitor, batches = _rtree_steady(cfg)
+    measure_updates(benchmark, monitor, batches)

@@ -1,0 +1,52 @@
+"""Figure 10 — approximate monitoring: time and practical error vs ε.
+
+Paper shape: update time decreases as ε grows; the measured error is
+always ≤ ε (Theorem 1) and in practice far smaller.  The error half of
+the figure is asserted here directly (an exact companion monitor sees
+the same batches); the timing half is the benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import measure_updates, steady_state
+from repro.bench import ExperimentConfig, run_approx_sweep
+
+EPSILONS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+CFG = ExperimentConfig(
+    dataset="geolife_like",
+    window_size=3_000,
+    batch_size=100,
+    rect_side=1000.0,
+    domain=140_000.0,
+    seed=42,
+)
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_fig10_update_time(benchmark, epsilon):
+    benchmark.group = "fig10 epsilon sweep [geolife_like]"
+    benchmark.extra_info.update(
+        {"figure": "10", "dataset": CFG.dataset, "epsilon": epsilon}
+    )
+    monitor, batches = steady_state(CFG.with_(epsilon=epsilon), "ag2")
+    measure_updates(benchmark, monitor, batches)
+
+
+def test_fig10_error_rates(benchmark):
+    """The figure's lower row: practical error per ε, asserted ≤ ε."""
+    cfg = CFG.with_(window_size=1_500, batches=4)
+
+    def sweep():
+        return run_approx_sweep(cfg, EPSILONS)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for row in rows:
+        assert row["mean_error"] <= row["epsilon"] + 1e-9
+        assert row["max_error"] <= row["epsilon"] + 1e-9
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 5) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in rows
+    ]

@@ -1,0 +1,35 @@
+"""Figure 11 — continuous top-k MaxRS: update time vs ``k``.
+
+Paper shape: naive is flat in ``k`` (one sweep covers any k); aG2's
+cost grows only slightly with ``k`` and stays well below naive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import measure_updates, steady_state
+from repro.bench import ExperimentConfig
+
+KS = (1, 10, 20, 30, 40, 50)
+ALGORITHMS = ("naive", "ag2")
+
+CFG = ExperimentConfig(
+    dataset="synthetic",
+    window_size=4_000,
+    batch_size=100,
+    rect_side=1000.0,
+    domain=140_000.0,
+    seed=42,
+)
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11_update_time(benchmark, k, algorithm):
+    benchmark.group = f"fig11 k={k} [synthetic]"
+    benchmark.extra_info.update(
+        {"figure": "11", "dataset": CFG.dataset, "k": k, "algorithm": algorithm}
+    )
+    monitor, batches = steady_state(CFG.with_(k=k), algorithm)
+    measure_updates(benchmark, monitor, batches)

@@ -1,0 +1,47 @@
+"""Figure 7 — impact of window size ``n``.
+
+Paper shape: every algorithm slows as ``n`` grows; naive plane-sweep is
+worst and least scalable, aG2 beats G2 (both beat naive) on every
+dataset.  The reduced pytest grid covers the uniform and the hardest
+(Geolife-like) workloads; ``run_experiments.py`` sweeps the full
+scaled grid over all four datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import measure_updates, steady_state
+from repro.bench import ExperimentConfig
+
+WINDOWS = (1_000, 2_000, 4_000, 8_000)
+#: heavy skewed workloads sweep a 4x smaller grid (same structure) so
+#: G2's giant local sweeps stay tractable in pure Python
+HEAVY = {"geolife_like", "roma_like"}
+DATASETS = ("synthetic", "tdrive_like", "roma_like", "geolife_like")
+ALGORITHMS = ("naive", "g2", "ag2")
+
+
+def cfg_for(dataset: str, window: int) -> ExperimentConfig:
+    if dataset in HEAVY:
+        window = max(500, window // 4)
+    return ExperimentConfig(
+        dataset=dataset,
+        window_size=window,
+        batch_size=100,
+        rect_side=1000.0,
+        domain=140_000.0,
+        seed=42,
+    )
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig7_update_time(benchmark, dataset, window, algorithm):
+    benchmark.group = f"fig7 n={window} [{dataset}]"
+    benchmark.extra_info.update(
+        {"figure": "7", "dataset": dataset, "n": window, "algorithm": algorithm}
+    )
+    monitor, batches = steady_state(cfg_for(dataset, window), algorithm)
+    measure_updates(benchmark, monitor, batches)

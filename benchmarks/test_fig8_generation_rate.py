@@ -1,0 +1,41 @@
+"""Figure 8 — impact of generation rate ``m``.
+
+Paper shape: naive is flat in ``m`` (it recomputes from scratch
+regardless); the incremental algorithms' cost grows with ``m`` but aG2
+stays below naive even at ``m = 1000``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import measure_updates, steady_state
+from repro.bench import ExperimentConfig
+
+RATES = (50, 100, 200, 500, 1000)
+DATASETS = ("synthetic", "tdrive_like", "roma_like")
+ALGORITHMS = ("naive", "g2", "ag2")
+
+
+def cfg_for(dataset: str, rate: int) -> ExperimentConfig:
+    window = 2_000 if dataset == "roma_like" else 4_000
+    return ExperimentConfig(
+        dataset=dataset,
+        window_size=window,
+        batch_size=rate,
+        rect_side=1000.0,
+        domain=140_000.0,
+        seed=42,
+    )
+
+
+@pytest.mark.parametrize("rate", RATES)
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig8_update_time(benchmark, dataset, rate, algorithm):
+    benchmark.group = f"fig8 m={rate} [{dataset}]"
+    benchmark.extra_info.update(
+        {"figure": "8", "dataset": dataset, "m": rate, "algorithm": algorithm}
+    )
+    monitor, batches = steady_state(cfg_for(dataset, rate), algorithm)
+    measure_updates(benchmark, monitor, batches)

@@ -1,0 +1,41 @@
+"""Figure 9 — impact of the query rectangle side ``l``.
+
+Paper shape: larger rectangles mean more overlaps; uniform data is
+barely affected while skewed datasets slow down markedly, with aG2
+staying ahead of naive throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import measure_updates, steady_state
+from repro.bench import ExperimentConfig
+
+SIDES = (100.0, 500.0, 1000.0, 1500.0, 2000.0)
+DATASETS = ("synthetic", "tdrive_like", "roma_like")
+ALGORITHMS = ("naive", "g2", "ag2")
+
+
+def cfg_for(dataset: str, side: float) -> ExperimentConfig:
+    window = 2_000 if dataset == "roma_like" else 4_000
+    return ExperimentConfig(
+        dataset=dataset,
+        window_size=window,
+        batch_size=100,
+        rect_side=side,
+        domain=140_000.0,
+        seed=42,
+    )
+
+
+@pytest.mark.parametrize("side", SIDES)
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig9_update_time(benchmark, dataset, side, algorithm):
+    benchmark.group = f"fig9 l={side:g} [{dataset}]"
+    benchmark.extra_info.update(
+        {"figure": "9", "dataset": dataset, "l": side, "algorithm": algorithm}
+    )
+    monitor, batches = steady_state(cfg_for(dataset, side), algorithm)
+    measure_updates(benchmark, monitor, batches)

@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Not a paper artefact — these guard the constants everything else is
+built from: segment-tree updates, the one-shot sweep, the clipped
+local sweep at realistic neighbour counts, and grid cell mapping.
+A regression here silently inflates every figure, so track it here.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.grid import UniformGrid
+from repro.core.objects import SpatialObject, WeightedRect
+from repro.core.planesweep import local_plane_sweep, plane_sweep_max
+from repro.core.segment_tree import MaxCoverSegmentTree
+
+
+def _rects(count: int, domain: float, side: float, seed: int) -> list[WeightedRect]:
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        obj = SpatialObject(
+            x=rng.uniform(0, domain),
+            y=rng.uniform(0, domain),
+            weight=rng.uniform(0, 10),
+        )
+        out.append(WeightedRect.from_object(obj, side, side))
+    return out
+
+
+@pytest.mark.parametrize("size", (256, 4096))
+def test_micro_segment_tree_update(benchmark, size):
+    benchmark.group = f"micro: segment tree add+max (size={size})"
+    tree = MaxCoverSegmentTree(size)
+    rng = random.Random(7)
+    spans = [
+        (lo, rng.randrange(lo, size))
+        for lo in (rng.randrange(size) for _ in range(512))
+    ]
+
+    def run():
+        for lo, hi in spans:
+            tree.add(lo, hi, 1.0)
+        top = tree.max_value
+        for lo, hi in spans:
+            tree.add(lo, hi, -1.0)
+        return top
+
+    result = benchmark(run)
+    assert result > 0
+
+
+@pytest.mark.parametrize("count", (500, 2000))
+def test_micro_full_sweep(benchmark, count):
+    benchmark.group = f"micro: one-shot plane sweep (n={count})"
+    rects = _rects(count, domain=50_000.0, side=1000.0, seed=1)
+    region = benchmark(plane_sweep_max, rects)
+    assert region is not None
+
+
+@pytest.mark.parametrize("degree", (4, 32, 128))
+def test_micro_local_sweep(benchmark, degree):
+    """Local-Plane-Sweep at the neighbour counts the monitors see:
+    sparse uniform (~4), busy hotspot (~32), extreme skew (~128)."""
+    benchmark.group = f"micro: local sweep (|N(ri)|={degree})"
+    anchor = _rects(1, domain=100.0, side=1000.0, seed=2)[0]
+    rng = random.Random(3)
+    neighbors = []
+    for _ in range(degree):
+        obj = SpatialObject(
+            x=anchor.obj.x + rng.uniform(-900, 900),
+            y=anchor.obj.y + rng.uniform(-900, 900),
+            weight=rng.uniform(0, 10),
+        )
+        neighbors.append(WeightedRect.from_object(obj, 1000.0, 1000.0))
+    region = benchmark(local_plane_sweep, anchor, neighbors)
+    assert region.weight >= anchor.weight
+
+
+def test_micro_grid_mapping(benchmark):
+    benchmark.group = "micro: grid cell mapping (1000 rects)"
+    grid = UniformGrid(cell_size=2000.0)
+    rects = _rects(1000, domain=140_000.0, side=1000.0, seed=4)
+
+    def run():
+        return sum(
+            1 for wr in rects for _ in grid.cells_overlapping(wr.rect)
+        )
+
+    mapped = benchmark(run)
+    assert mapped >= 1000

@@ -1,0 +1,38 @@
+"""Table 5 — Algorithm 5 upper-bound tightening ablation.
+
+Paper shape: Algorithm 5 (always or cost-gated) gives no robust
+improvement over plain Algorithm 2 and hurts on the dataset with large
+``R(ri)`` sets (Geolife) — the reason the paper ships aG2 without it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import measure_updates, steady_state
+from repro.bench import ExperimentConfig
+
+MODES = ("off", "conditional", "always")  # off == plain Algorithm 2
+DATASETS = ("synthetic", "tdrive_like", "geolife_like", "roma_like")
+
+
+def cfg_for(dataset: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset=dataset,
+        window_size=3_000,
+        batch_size=100,
+        rect_side=1000.0,
+        domain=140_000.0,
+        seed=42,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("mode", MODES)
+def test_table5_update_time(benchmark, dataset, mode):
+    benchmark.group = f"table5 [{dataset}]"
+    benchmark.extra_info.update(
+        {"table": "5", "dataset": dataset, "algorithm5": mode}
+    )
+    monitor, batches = steady_state(cfg_for(dataset), "ag2", tighten_mode=mode)
+    measure_updates(benchmark, monitor, batches)

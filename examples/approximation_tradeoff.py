@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Approximation trade-off (paper §6.1 / Figure 10, hands on).
+
+Runs the exact monitor and ε-approximate monitors side by side on the
+same skewed stream and reports, per ε: the update-time speedup and the
+*practical* error — which the paper observes (and Theorem 1 guarantees)
+stays well below the tolerated ε.
+
+Run:  python examples/approximation_tradeoff.py
+"""
+
+import time
+
+from repro import AG2Monitor, CountWindow, practical_error
+from repro.datasets import make_stream
+from repro.streams import batches
+
+SIDE = 1000.0
+WINDOW = 3_000
+BATCH = 100
+ROUNDS = 20
+EPSILONS = (0.0, 0.1, 0.3, 0.5)
+
+
+def main() -> None:
+    monitors = {
+        eps: AG2Monitor(
+            rect_width=SIDE,
+            rect_height=SIDE,
+            window=CountWindow(WINDOW),
+            epsilon=eps,
+        )
+        for eps in EPSILONS
+    }
+    elapsed = {eps: 0.0 for eps in EPSILONS}
+    worst_error = {eps: 0.0 for eps in EPSILONS}
+
+    stream = make_stream("roma_like", domain=60_000.0, seed=5)
+    for tick, batch in enumerate(batches(stream, size=BATCH)):
+        exact_weight = 0.0
+        for eps, monitor in monitors.items():
+            start = time.perf_counter()
+            result = monitor.update(batch)
+            elapsed[eps] += time.perf_counter() - start
+            if eps == 0.0:
+                exact_weight = result.best_weight
+            elif tick * BATCH > WINDOW:  # measure at steady state only
+                err = practical_error(result.best_weight, exact_weight)
+                worst_error[eps] = max(worst_error[eps], err)
+        if tick >= ROUNDS + WINDOW // BATCH:
+            break
+
+    exact_time = elapsed[0.0]
+    print(f"{'epsilon':>8}  {'time/update':>12}  {'speedup':>8}  {'worst error':>12}")
+    for eps in EPSILONS:
+        per_update = elapsed[eps] / (ROUNDS + WINDOW // BATCH + 1) * 1000
+        speedup = exact_time / elapsed[eps] if elapsed[eps] else float("inf")
+        guarantee = f"(≤ {eps:.1f} guaranteed)" if eps else "(exact)"
+        print(
+            f"{eps:>8.1f}  {per_update:>10.2f}ms  {speedup:>7.2f}x  "
+            f"{worst_error[eps]:>12.4f} {guarantee}"
+        )
+
+
+if __name__ == "__main__":
+    main()

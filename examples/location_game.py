@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Location-based game (paper Example 1.3): top-k competition hotspots.
+
+Players of an Ingress-style game roam a city; each position report
+carries the player's strength.  A continuous *top-k* MaxRS query tracks
+the k areas where the strongest concentration of players is currently
+competing, so a team can plan where to attack — or what to avoid.
+
+Players are simulated as a trajectory fleet attracted to portal
+clusters; the monitor reports the five hottest 500m × 500m zones after
+every update and flags when the leaderboard of zones changes.
+
+Run:  python examples/location_game.py
+"""
+
+from repro import TopKAG2Monitor, CountWindow
+from repro.streams import Hotspot, TrajectoryFleetStream, batches
+
+CITY = 20_000.0      # 20 km square
+ZONE = 500.0         # contested zone size
+K = 5
+
+PORTALS = [
+    Hotspot(cx=0.25, cy=0.25, sigma=0.015, share=1.0),
+    Hotspot(cx=0.75, cy=0.30, sigma=0.015, share=0.8),
+    Hotspot(cx=0.50, cy=0.75, sigma=0.020, share=1.2),
+]
+
+
+def zone_label(region) -> str:
+    x, y = region.best_point
+    return f"({x / 1000:.1f}km, {y / 1000:.1f}km)"
+
+
+def main() -> None:
+    monitor = TopKAG2Monitor(
+        rect_width=ZONE,
+        rect_height=ZONE,
+        window=CountWindow(3_000),   # most recent 3,000 position reports
+        k=K,
+    )
+    players = TrajectoryFleetStream(
+        vehicles=150,
+        hotspots=PORTALS,
+        hotspot_bias=0.8,
+        speed=0.01,
+        domain=CITY,
+        weight_max=100.0,   # player strength
+        seed=11,
+    )
+    previous: list[int] = []
+    for tick, batch in enumerate(batches(players, size=150)):
+        result = monitor.update(batch)
+        leaders = [r.anchor_oid for r in result.regions]
+        if tick % 10 == 0 or leaders[:1] != previous[:1]:
+            changed = "  << new #1" if leaders[:1] != previous[:1] else ""
+            zones = ", ".join(
+                f"{zone_label(r)}={r.weight:.0f}" for r in result.regions
+            )
+            print(f"round {tick:>3}: top-{K} zones {zones}{changed}")
+        previous = leaders
+        if tick >= 60:
+            break
+    print(
+        f"\n{monitor.stats.local_sweeps} local sweeps over "
+        f"{monitor.stats.updates} updates "
+        f"({monitor.stats.vertices_pruned} vertex computations pruned)"
+    )
+
+
+if __name__ == "__main__":
+    main()

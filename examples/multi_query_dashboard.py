@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Operations dashboard: several continuous queries, change alerts,
+and crash recovery — the serving-layer features around the core paper.
+
+One city-wide GPS stream feeds three continuous MaxRS queries at once
+(the paper's §8 future-work scenario):
+
+* ``district``  — where should a 5km mobile service hub go?
+* ``block``     — which 500m block is hottest right now?
+* ``top3``      — the three busiest distinct blocks (top-k).
+
+A :class:`ResultRecorder` turns the block query into an alert feed
+(only report when the hotspot actually moves), and the monitor state is
+snapshotted to JSON and restored — simulating a process restart without
+losing the window.
+
+Run:  python examples/multi_query_dashboard.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import AG2Monitor, CountWindow, TopKAG2Monitor, load_json, save_json
+from repro.engine import MultiQueryGroup, ResultRecorder
+from repro.streams import Hotspot, HotspotMixtureStream, batches
+
+CITY = 30_000.0
+
+STREAM = HotspotMixtureStream(
+    hotspots=[
+        Hotspot(cx=0.3, cy=0.3, sigma=0.03, share=1.0),
+        Hotspot(cx=0.7, cy=0.6, sigma=0.04, share=0.8),
+    ],
+    background_share=0.4,
+    domain=CITY,
+    weight_max=10.0,
+    seed=17,
+)
+
+
+def main() -> None:
+    group = MultiQueryGroup()
+    group.add("district", AG2Monitor(5000.0, 5000.0, CountWindow(2000)))
+    group.add("block", AG2Monitor(500.0, 500.0, CountWindow(2000)))
+    group.add("top3", TopKAG2Monitor(500.0, 500.0, CountWindow(2000), k=3))
+
+    alerts = ResultRecorder(move_threshold=1000.0, weight_threshold=0.5)
+    def announce(change) -> None:
+        if change.previous is None:
+            print(f"  ALERT tick {change.tick}: first hot block detected")
+        elif change.moved_distance > alerts.move_threshold:
+            print(
+                f"  ALERT tick {change.tick}: hot block moved "
+                f"{change.moved_distance:,.0f} m"
+            )
+        else:
+            print(
+                f"  ALERT tick {change.tick}: hot block intensity changed "
+                f"{change.weight_ratio:+.0%}"
+            )
+
+    alerts.on_change(announce)
+
+    for tick, batch in enumerate(batches(STREAM, 100)):
+        results = group.update(batch)
+        alerts.record(results["block"])
+        if tick % 10 == 0:
+            district = results["district"].best
+            blocks = results["top3"].regions
+            print(
+                f"tick {tick:>3}: district hub weight={district.weight:,.0f} "
+                f"| top blocks: "
+                + ", ".join(f"{r.weight:,.0f}" for r in blocks)
+            )
+        if tick == 20:
+            # simulate a restart: persist the block query, drop it, restore
+            path = Path(tempfile.gettempdir()) / "block_query.json"
+            save_json(group.monitor("block"), path)
+            group.remove("block")
+            group.add("block", load_json(path))
+            print(f"  (block query snapshotted to {path} and restored)")
+        if tick >= 40:
+            break
+
+    print(
+        f"\nblock hotspot stability: {alerts.stability():.0%} of updates "
+        f"left the answer in place ({alerts.change_count} changes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

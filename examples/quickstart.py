@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: continuous MaxRS monitoring in a dozen lines.
+
+Streams uniformly distributed weighted objects through an aG2 monitor
+with a count-based window and prints where a 1000×1000 rectangle should
+be placed to cover the most weight — continuously, after every arrival
+batch.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AG2Monitor, CountWindow
+from repro.streams import UniformStream, batches
+
+
+def main() -> None:
+    # a window of the 2,000 most recent objects; the query rectangle
+    # is 1000 x 1000 over a 100,000 x 100,000 monitoring space
+    monitor = AG2Monitor(
+        rect_width=1000.0,
+        rect_height=1000.0,
+        window=CountWindow(2_000),
+    )
+
+    stream = UniformStream(domain=100_000.0, weight_max=100.0, seed=7)
+    print(f"{'batch':>5}  {'window':>6}  {'best weight':>11}  best placement")
+    for tick, batch in enumerate(batches(stream, size=100)):
+        result = monitor.update(batch)
+        if tick % 5 == 0 and result.best is not None:
+            x, y = result.best.best_point
+            print(
+                f"{tick:>5}  {result.window_size:>6}  "
+                f"{result.best_weight:>11.1f}  ({x:>9.1f}, {y:>9.1f})"
+            )
+        if tick >= 50:
+            break
+
+    stats = monitor.stats
+    print(
+        f"\nprocessed {stats.objects_seen} objects in {stats.updates} updates; "
+        f"{stats.local_sweeps} local plane sweeps, "
+        f"{stats.cells_pruned} cell visits pruned"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Plain-text table/series formatting for experiment output.
+
+The harness prints the same rows/series the paper reports; these
+helpers keep the formatting in one place so the pytest benchmarks, the
+standalone runner and the CLI all emit identical artefacts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_rows", "series_from_rows"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.01 or abs(value) >= 100_000:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table with a separator rule under the header."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in headers]))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, object]], title: str = ""
+) -> str:
+    """Table from dict rows; columns follow the first row's key order."""
+    if not rows:
+        return title or "(no rows)"
+    headers = list(rows[0].keys())
+    body = [[row.get(h, "") for h in headers] for row in rows]
+    return format_table(headers, body, title=title)
+
+
+def series_from_rows(
+    rows: Sequence[Mapping[str, object]], x: str, y: str
+) -> list[tuple[object, object]]:
+    """Extract one figure series (x, y) from dict rows."""
+    return [(row[x], row[y]) for row in rows]

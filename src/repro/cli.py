@@ -1,0 +1,190 @@
+"""Command-line experiment runner: ``maxrs-stream``.
+
+Subcommands mirror the paper's evaluation artefacts::
+
+    maxrs-stream monitor --dataset geolife_like --window 5000 --batches 20
+    maxrs-stream sweep --parameter window_size --values 2000,5000,10000
+    maxrs-stream approx --epsilons 0,0.1,0.2
+    maxrs-stream topk --ks 1,10,25
+    maxrs-stream ablation
+
+Every subcommand prints a plain-text table; ``--dataset`` accepts the
+four built-in workload names (see ``repro.datasets``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench import (
+    DEFAULT_CONFIG,
+    PAPER_DATASETS,
+    ExperimentConfig,
+    format_rows,
+    run_ablation,
+    run_approx_sweep,
+    run_config,
+    run_sweep,
+    run_topk_sweep,
+)
+from repro.datasets import available_datasets
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        default=DEFAULT_CONFIG.dataset,
+        choices=available_datasets(),
+        help="workload to stream (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=DEFAULT_CONFIG.window_size,
+        help="sliding-window size n (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--rate", type=int, default=DEFAULT_CONFIG.batch_size,
+        help="generation rate m per batch (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--side", type=float, default=DEFAULT_CONFIG.rect_side,
+        help="query rectangle side length l (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--domain", type=float, default=DEFAULT_CONFIG.domain,
+        help="monitoring-space side length (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--batches", type=int, default=DEFAULT_CONFIG.batches,
+        help="timed batches to run (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_CONFIG.seed,
+        help="stream seed (default: %(default)s)",
+    )
+
+
+def _config(args: argparse.Namespace, **extra: object) -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset=args.dataset,
+        window_size=args.window,
+        batch_size=args.rate,
+        rect_side=args.side,
+        domain=args.domain,
+        batches=args.batches,
+        seed=args.seed,
+    ).with_(**extra)
+
+
+def _parse_list(text: str, cast: type) -> list:
+    return [cast(token) for token in text.split(",") if token.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="maxrs-stream",
+        description="Continuous MaxRS monitoring experiments "
+        "(Amagata & Hara, EDBT 2016 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_monitor = sub.add_parser(
+        "monitor", help="compare naive/G2/aG2 on one configuration"
+    )
+    _add_common(p_monitor)
+    p_monitor.add_argument(
+        "--algorithms", default="naive,g2,ag2",
+        help="comma-separated subset of naive,g2,ag2",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="vary one parameter (Figures 7-9)"
+    )
+    _add_common(p_sweep)
+    p_sweep.add_argument(
+        "--parameter", required=True,
+        choices=("window_size", "batch_size", "rect_side"),
+    )
+    p_sweep.add_argument(
+        "--values", required=True, help="comma-separated parameter values"
+    )
+
+    p_approx = sub.add_parser(
+        "approx", help="approximate monitoring sweep (Figure 10)"
+    )
+    _add_common(p_approx)
+    p_approx.add_argument(
+        "--epsilons", default="0,0.1,0.2,0.3,0.4,0.5",
+        help="comma-separated error tolerances",
+    )
+
+    p_topk = sub.add_parser("topk", help="top-k sweep (Figure 11)")
+    _add_common(p_topk)
+    p_topk.add_argument(
+        "--ks", default="1,10,20,30,40,50", help="comma-separated k values"
+    )
+
+    p_ablation = sub.add_parser(
+        "ablation", help="Algorithm 5 upper-bound ablation (Table 5)"
+    )
+    _add_common(p_ablation)
+    p_ablation.add_argument(
+        "--datasets", default=",".join(PAPER_DATASETS),
+        help="comma-separated dataset names",
+    )
+
+    p_dataset = sub.add_parser(
+        "dataset", help="dump a workload sample to CSV (x,y,weight,timestamp)"
+    )
+    _add_common(p_dataset)
+    p_dataset.add_argument(
+        "--count", type=int, default=10_000, help="objects to emit"
+    )
+    p_dataset.add_argument(
+        "--output", required=True, help="CSV file to write"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "monitor":
+        cfg = _config(args)
+        algorithms = _parse_list(args.algorithms, str)
+        times = run_config(cfg, algorithms)
+        rows = [{"algorithm": name, "mean_ms": ms} for name, ms in times.items()]
+        print(format_rows(rows, title=f"dataset={cfg.dataset}"))
+    elif args.command == "sweep":
+        cfg = _config(args)
+        cast = float if args.parameter == "rect_side" else int
+        values = _parse_list(args.values, cast)
+        rows = run_sweep(cfg, args.parameter, values)
+        print(format_rows(rows, title=f"{args.parameter} sweep [{cfg.dataset}]"))
+    elif args.command == "approx":
+        cfg = _config(args)
+        rows = run_approx_sweep(cfg, _parse_list(args.epsilons, float))
+        print(format_rows(rows, title=f"epsilon sweep [{cfg.dataset}]"))
+    elif args.command == "topk":
+        cfg = _config(args)
+        rows = run_topk_sweep(cfg, _parse_list(args.ks, int))
+        print(format_rows(rows, title=f"k sweep [{cfg.dataset}]"))
+    elif args.command == "ablation":
+        cfg = _config(args)
+        rows = run_ablation(cfg, _parse_list(args.datasets, str))
+        print(format_rows(rows, title="Algorithm 5 ablation (mean ms)"))
+    elif args.command == "dataset":
+        from repro.datasets import make_stream
+        from repro.streams import write_csv
+
+        stream = make_stream(args.dataset, domain=args.domain, seed=args.seed)
+        objects = stream.take(args.count)
+        write_csv(args.output, objects)
+        print(f"wrote {len(objects)} objects to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

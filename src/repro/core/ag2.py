@@ -1,0 +1,341 @@
+"""aG2 — aggregate G2 index and the branch-and-bound monitor
+(paper §5, Algorithms 2–4; §6.1 approximate variant).
+
+aG2 extends every G2 cell with two things: a *pending set* ``R`` of
+rectangles mapped to the cell but not yet overlap-checked, and an
+upper-bound weight ``c.w`` maintained by Equations (4)–(5).  Vertices
+carry the bound ``s̄i`` of Equation (3).  Together they give Property 4
+
+    ``c.w  ≥  s̄i  ≥  si.w``   for every vertex of the cell,
+
+which powers two pruning rules: skip a whole cell when ``c.w`` cannot
+beat the monitored answer (Rule 1), and skip a vertex's
+``Local-Plane-Sweep`` when ``s̄i`` cannot (Rule 2).  The approximate
+monitor of §6.1 is the same algorithm with both tests relaxed by
+``(1-ε)`` (Rules 3–4), which Theorem 1 shows keeps the guarantee
+``s.w ≥ (1-ε)·s*.w`` at all times.
+
+Implementation notes (see DESIGN.md §5):
+
+* ``OverlapComputation`` re-derives ``c.w`` as the maximum bound over
+  *all* cell vertices, not only those touched by pending rectangles —
+  the literal pseudocode could under-set ``c.w`` when an untouched
+  vertex holds the maximum, and Property 4 must never be violated.
+* Candidate cells are visited in decreasing ``c.w`` order, so the
+  branch-and-bound loop can stop at the first cell that fails Rule 1.
+* Optional Algorithm 5 upper-bound tightening (§5.3) plugs in via the
+  ``tighten`` argument; it exists for the Table 5 ablation and is off
+  by default, matching the paper's conclusion that it does not pay off.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Dict
+
+from repro.core.graph import CellGraph, Vertex
+from repro.core.grid import CellKey, UniformGrid, default_cell_size
+from repro.core.monitor import MaxRSMonitor
+from repro.core.objects import WeightedRect
+from repro.core.planesweep import local_plane_sweep
+from repro.core.spaces import MaxRSResult
+from repro.errors import InvalidParameterError, InvariantViolationError
+from repro.window.base import SlidingWindow, WindowUpdate
+
+__all__ = ["AG2Monitor", "AG2Cell"]
+
+_NEG_INF = float("-inf")
+
+# Signature of an upper-bound tightener (Algorithm 5): given a vertex
+# whose bound exceeds the threshold, return a possibly smaller — but
+# still valid — upper bound on the true si.
+Tightener = Callable[[Vertex, float], float]
+
+
+class AG2Cell:
+    """One aG2 cell: graph + pending set ``R`` + cell bound ``c.w``."""
+
+    __slots__ = ("graph", "pending", "cw")
+
+    def __init__(self) -> None:
+        self.graph = CellGraph()
+        # rectangles mapped here but not yet overlap-checked, in
+        # arrival order: (sequence number, rectangle)
+        self.pending: Deque[tuple[int, WeightedRect]] = deque()
+        self.cw = 0.0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.graph and not self.pending
+
+    def max_upper(self) -> float:
+        return max(
+            (v.upper for v in self.graph.iter_vertices()), default=0.0
+        )
+
+
+class AG2Monitor(MaxRSMonitor):
+    """Branch-and-bound continuous MaxRS monitor over aG2 (Algorithm 2).
+
+    Args:
+        epsilon: User-tolerated error rate ``ε ∈ [0, 1)``.  ``0`` gives
+            the exact monitor; ``ε > 0`` gives the §6.1 approximate
+            monitor with the guarantee ``s.w ≥ (1-ε)·s*.w``.
+        tighten: Optional Algorithm 5 tightener (see
+            ``repro.core.upperbound``); ablation only.
+        cell_size: Grid resolution; defaults to twice the query size.
+    """
+
+    def __init__(
+        self,
+        rect_width: float,
+        rect_height: float,
+        window: SlidingWindow,
+        cell_size: float | None = None,
+        epsilon: float = 0.0,
+        tighten: Tightener | None = None,
+        visit_order: str = "bound",
+    ) -> None:
+        super().__init__(rect_width, rect_height, window)
+        if not (0.0 <= epsilon < 1.0):
+            raise InvalidParameterError(
+                f"epsilon must be in [0, 1), got {epsilon}"
+            )
+        if visit_order not in ("bound", "arbitrary"):
+            raise InvalidParameterError(
+                f"visit_order must be 'bound' or 'arbitrary', got {visit_order!r}"
+            )
+        if cell_size is None:
+            cell_size = default_cell_size(rect_width, rect_height)
+        self.grid = UniformGrid(cell_size=cell_size)
+        self.epsilon = float(epsilon)
+        self._tighten = tighten
+        # "bound": visit candidate cells in decreasing c.w so the first
+        # Rule-1 failure prunes the remainder (our default); "arbitrary":
+        # the paper's literal reading — any order, every cell tested.
+        self.visit_order = visit_order
+        self._cells: Dict[CellKey, AG2Cell] = {}
+        self._next_seq = 0
+        self._expired_upto = -1
+        # the monitored answer: the vertex whose exact space we report
+        self._star: Vertex | None = None
+        self._star_cell: CellKey | None = None
+
+    # -- Algorithm 2 ---------------------------------------------------------
+
+    def _on_delta(self, delta: WindowUpdate) -> None:
+        self._expired_upto += len(delta.expired)
+        self._map_arrivals(delta)
+        self._purge_all()
+        if not self._cells:
+            self._star = None
+            self._star_cell = None
+            return
+        # lines 6-10: refresh (or re-seed) the monitored answer first so
+        # the pruning threshold is as large as possible
+        start_key = self._pick_start_cell()
+        self._overlap_computation(self._cells[start_key])
+        self._exact_weight_computation(start_key)
+        # lines 11-15: branch-and-bound over the remaining cells; in
+        # "bound" order the first Rule-1 failure prunes the rest, in
+        # "arbitrary" order every cell is tested individually
+        rest = (key for key in self._cells if key != start_key)
+        if self.visit_order == "bound":
+            order = sorted(rest, key=lambda key: -self._cells[key].cw)
+        else:
+            order = list(rest)
+        for pos, key in enumerate(order):
+            cell = self._cells[key]
+            if not self._may_beat(cell.cw):
+                if self.visit_order == "bound":
+                    self.stats.cells_pruned += len(order) - pos
+                    break
+                self.stats.cells_pruned += 1
+                continue
+            self._overlap_computation(cell)
+            if self._may_beat(cell.cw):
+                self._exact_weight_computation(key)
+            else:
+                self.stats.cells_pruned += 1
+
+    # -- batch plumbing --------------------------------------------------------
+
+    def _map_arrivals(self, delta: WindowUpdate) -> None:
+        """Lines 1-5: route new rectangles to their cells, growing each
+        cell bound by the arriving weight (Equation 5)."""
+        for obj in delta.arrived:
+            seq = self._next_seq
+            self._next_seq += 1
+            wr = WeightedRect.from_object(
+                obj, self.rect_width, self.rect_height
+            )
+            for key in self.grid.cells_overlapping(wr.rect):
+                cell = self._cells.get(key)
+                if cell is None:
+                    cell = self._make_cell()
+                    self._cells[key] = cell
+                cell.pending.append((seq, wr))
+                cell.cw += wr.weight
+
+    def _make_cell(self) -> AG2Cell:
+        """Cell factory; the top-k monitor overrides it to attach the
+        per-cell candidate list."""
+        return AG2Cell()
+
+    def _purge_all(self) -> None:
+        """Expire stale vertices/pending entries from every cell.
+
+        Purging only removes weight, so cell bounds remain valid upper
+        bounds without adjustment; empty cells are dropped.
+        """
+        expired_upto = self._expired_upto
+        if self._star is not None and self._star.seq <= expired_upto:
+            self._star = None
+            self._star_cell = None
+        for key in list(self._cells):
+            cell = self._cells[key]
+            removed = cell.graph.expire_upto(expired_upto)
+            pending = cell.pending
+            while pending and pending[0][0] <= expired_upto:
+                pending.popleft()
+            if cell.is_empty:
+                del self._cells[key]
+            elif removed:
+                self._cell_purged(cell)
+
+    def _cell_purged(self, cell: AG2Cell) -> None:
+        """Hook invoked after vertices expired from a surviving cell;
+        the top-k monitor repairs its per-cell candidate list here."""
+
+    def _pick_start_cell(self) -> CellKey:
+        """The cell holding ``s*``; if it expired, the Equation (6)
+        heuristic: the cell with the largest upper bound."""
+        if self._star_cell is not None and self._star_cell in self._cells:
+            return self._star_cell
+        return max(
+            self._cells, key=lambda key: (self._cells[key].cw, key)
+        )
+
+    def _may_beat(self, bound: float) -> bool:
+        """Pruning Rule 1 (ε = 0) / Rule 3 (ε > 0): can a cell with this
+        bound contain an answer we are obliged to adopt?"""
+        if self._star is None:
+            return True
+        return (1.0 - self.epsilon) * bound > self._star.space.weight
+
+    # -- Algorithm 3 -------------------------------------------------------------
+
+    def _overlap_computation(self, cell: AG2Cell) -> None:
+        """Move pending rectangles into the graph, adding edges from
+        older overlapping vertices (Equation 3 grows their bounds), then
+        re-derive the cell bound from all vertex bounds (Equation 4)."""
+        self.stats.cells_visited += 1
+        graph = cell.graph
+        if cell.pending:
+            for seq, wr in cell.pending:
+                self.stats.overlap_tests += len(graph)
+                graph.connect(wr, seq)
+            cell.pending.clear()
+        cell.cw = cell.max_upper()
+
+    # -- Algorithm 4 -------------------------------------------------------------
+
+    def _exact_weight_computation(self, key: CellKey) -> None:
+        """Scan the cell's vertices; run ``Local-Plane-Sweep`` for every
+        vertex that survives Pruning Rule 2/4, adopting improvements
+        into the monitored answer."""
+        cell = self._cells[key]
+        relax = 1.0 - self.epsilon
+        tighten = self._tighten
+        cw = 0.0
+        for v in cell.graph.iter_vertices():
+            rho = (
+                self._star.space.weight if self._star is not None else _NEG_INF
+            )
+            if relax * v.upper > rho:
+                if tighten is not None and v.upper > v.space.weight:
+                    v.upper = tighten(v, rho)
+                if relax * v.upper > rho:
+                    # sweep only when N(ri) changed since the last exact
+                    # computation; otherwise `space` is already the exact
+                    # si and re-sweeping would reproduce it verbatim
+                    if len(v.neighbors) != v.swept_degree:
+                        self._sweep_vertex(v)
+                    star = self._star
+                    if star is None or v.space.weight > star.space.weight:
+                        self._star = v
+                        self._star_cell = key
+                else:
+                    self.stats.vertices_pruned += 1
+            else:
+                self.stats.vertices_pruned += 1
+            if v.upper > cw:
+                cw = v.upper
+        cell.cw = cw
+
+    def _sweep_vertex(self, v: Vertex) -> None:
+        v.space = local_plane_sweep(v.wr, v.neighbors)
+        v.upper = v.space.weight
+        v.dirty = False
+        v.swept_degree = len(v.neighbors)
+        self.stats.local_sweeps += 1
+
+    # -- result --------------------------------------------------------------------
+
+    def _compute_result(self, tick: int) -> MaxRSResult:
+        if self._star is None:
+            return MaxRSResult(tick=tick, window_size=len(self.window))
+        return MaxRSResult.single(
+            self._star.space, tick=tick, window_size=len(self.window)
+        )
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    @property
+    def cell_count(self) -> int:
+        return len(self._cells)
+
+    @property
+    def vertex_count(self) -> int:
+        return sum(len(c.graph) for c in self._cells.values())
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(c.pending) for c in self._cells.values())
+
+    def check_invariants(self) -> None:
+        """Verify Property 4's checkable half on every cell.
+
+        Raises :class:`InvariantViolationError` on the first violation.
+        Intended for tests and debugging; never called on hot paths.
+        """
+        tol = 1e-6
+        for key, cell in self._cells.items():
+            if cell.is_empty:
+                raise InvariantViolationError(f"empty cell {key} retained")
+            top = cell.max_upper()
+            if cell.cw < top - tol:
+                raise InvariantViolationError(
+                    f"cell {key}: c.w={cell.cw} below max vertex bound {top}"
+                )
+            prev_seq = -1
+            for v in cell.graph.iter_vertices():
+                if v.seq <= self._expired_upto:
+                    raise InvariantViolationError(
+                        f"cell {key}: expired vertex seq={v.seq} retained"
+                    )
+                if v.seq <= prev_seq:
+                    raise InvariantViolationError(
+                        f"cell {key}: vertices out of arrival order"
+                    )
+                prev_seq = v.seq
+                if v.upper < v.space.weight - tol:
+                    raise InvariantViolationError(
+                        f"cell {key}: vertex seq={v.seq} bound "
+                        f"{v.upper} below exact space {v.space.weight}"
+                    )
+                if not math.isfinite(v.upper):
+                    raise InvariantViolationError(
+                        f"cell {key}: non-finite bound on seq={v.seq}"
+                    )

@@ -1,0 +1,91 @@
+"""AllMaxRS: every space attaining the maximum range sum.
+
+The paper's §5.2 correctness discussion notes that its branch-and-bound
+uses strict ``>`` comparisons to *keep* monitoring one optimal space,
+and that applications wanting **all** optimal spaces (the AllMaxRS
+problem of Choi et al. [9]) just need ``≥`` semantics.  This module
+provides that flavour for the one-shot solver and a tie-collecting
+monitor built on the exact aG2 monitor.
+
+Ties are compared with an absolute tolerance (floating-point weight
+sums are never bit-exact across different sweep orders).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.objects import WeightedRect
+from repro.core.planesweep import plane_sweep_topk
+from repro.core.spaces import MaxRSResult, Region
+from repro.core.topk import TopKAG2Monitor
+from repro.errors import InvalidParameterError
+from repro.window.base import SlidingWindow
+
+__all__ = ["plane_sweep_all_max", "AllMaxRSMonitor", "DEFAULT_TIE_TOLERANCE"]
+
+DEFAULT_TIE_TOLERANCE = 1e-9
+
+
+def plane_sweep_all_max(
+    rects: Sequence[WeightedRect],
+    tolerance: float = DEFAULT_TIE_TOLERANCE,
+    limit: int = 64,
+) -> list[Region]:
+    """All arrangement cells whose weight ties the maximum.
+
+    ``limit`` caps the number of returned ties (identical stacked
+    rectangles can tie in arbitrarily many cells); raising it is safe,
+    it only bounds memory.
+    """
+    if tolerance < 0:
+        raise InvalidParameterError(
+            f"tolerance must be >= 0, got {tolerance}"
+        )
+    if limit <= 0:
+        raise InvalidParameterError(f"limit must be positive, got {limit}")
+    candidates = plane_sweep_topk(rects, limit)
+    if not candidates:
+        return []
+    best = candidates[0].weight
+    return [r for r in candidates if r.weight >= best - tolerance]
+
+
+class AllMaxRSMonitor(TopKAG2Monitor):
+    """Continuous AllMaxRS: monitor every space tying the maximum.
+
+    Implemented as a top-``limit`` monitor whose answer is filtered to
+    the ties of the best weight — exactly the ``≥`` reading of
+    Algorithm 2 the paper describes.  ``limit`` bounds how many tied
+    spaces are tracked (and therefore reported) per update.
+    """
+
+    def __init__(
+        self,
+        rect_width: float,
+        rect_height: float,
+        window: SlidingWindow,
+        tolerance: float = DEFAULT_TIE_TOLERANCE,
+        limit: int = 16,
+        cell_size: float | None = None,
+    ) -> None:
+        if tolerance < 0:
+            raise InvalidParameterError(
+                f"tolerance must be >= 0, got {tolerance}"
+            )
+        super().__init__(
+            rect_width, rect_height, window, k=limit, cell_size=cell_size
+        )
+        self.tolerance = tolerance
+
+    def _compute_result(self, tick: int) -> MaxRSResult:
+        ranked = super()._compute_result(tick)
+        if ranked.is_empty:
+            return ranked
+        best = ranked.best_weight
+        ties = tuple(
+            r for r in ranked.regions if r.weight >= best - self.tolerance
+        )
+        return MaxRSResult(
+            regions=ties, tick=ranked.tick, window_size=ranked.window_size
+        )

@@ -1,0 +1,136 @@
+"""Brute-force MaxRS oracles used to differentially test the real solvers.
+
+These oracles are deliberately simple and slow (O(n³) and worse): they
+enumerate candidate points at the midpoints of the coordinate
+arrangement, where every arrangement cell of the rectangle set is
+guaranteed a representative.  Under the library's strict-interior
+overlap convention the maximum over those candidates *is* the exact
+MaxRS optimum.  Test-only: never used by the monitors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.objects import WeightedRect
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "cover_weight",
+    "brute_force_max",
+    "brute_force_anchored_best",
+    "brute_force_topk_anchored",
+]
+
+
+def cover_weight(rects: Sequence[WeightedRect], x: float, y: float) -> float:
+    """Total weight of rectangles strictly containing the point."""
+    return sum(
+        wr.weight for wr in rects if wr.rect.contains_point(x, y)
+    )
+
+
+def _midpoints(coords: set[float]) -> list[float]:
+    ordered = sorted(coords)
+    return [
+        (a + b) / 2.0 for a, b in zip(ordered, ordered[1:]) if a < b
+    ]
+
+
+def brute_force_max(
+    rects: Sequence[WeightedRect],
+) -> tuple[float, tuple[float, float]] | None:
+    """Exact maximum range sum by exhaustive arrangement-cell sampling.
+
+    Returns ``(weight, (x, y))`` for a point attaining the optimum, or
+    ``None`` when no rectangle has positive area.
+    """
+    live = [wr for wr in rects if not wr.rect.is_degenerate]
+    if not live:
+        return None
+    xs = _midpoints(
+        {wr.rect.x1 for wr in live} | {wr.rect.x2 for wr in live}
+    )
+    ys = _midpoints(
+        {wr.rect.y1 for wr in live} | {wr.rect.y2 for wr in live}
+    )
+    best_w = float("-inf")
+    best_pt = (0.0, 0.0)
+    for x in xs:
+        # pre-filter by x to keep the inner loop tolerable
+        column = [wr for wr in live if wr.rect.x1 < x < wr.rect.x2]
+        for y in ys:
+            w = sum(
+                wr.weight for wr in column if wr.rect.y1 < y < wr.rect.y2
+            )
+            if w > best_w:
+                best_w = w
+                best_pt = (x, y)
+    if best_w == float("-inf"):
+        return None
+    return best_w, best_pt
+
+
+def brute_force_anchored_best(
+    anchor: WeightedRect, neighbors: Sequence[WeightedRect]
+) -> float:
+    """Weight of the best space *on* the anchor rectangle.
+
+    Mirrors ``Local-Plane-Sweep``: neighbours are clipped to the anchor,
+    candidates sampled inside the anchor only, and the anchor's own
+    weight always counts.
+    """
+    clipped: list[WeightedRect] = []
+    for nb in neighbors:
+        piece = nb.rect.clip(anchor.rect)
+        if piece is not None and not piece.is_degenerate:
+            clipped.append(WeightedRect(rect=piece, weight=nb.weight, obj=nb.obj))
+    if not clipped:
+        return anchor.weight
+    xs = _midpoints(
+        {anchor.rect.x1, anchor.rect.x2}
+        | {wr.rect.x1 for wr in clipped}
+        | {wr.rect.x2 for wr in clipped}
+    )
+    ys = _midpoints(
+        {anchor.rect.y1, anchor.rect.y2}
+        | {wr.rect.y1 for wr in clipped}
+        | {wr.rect.y2 for wr in clipped}
+    )
+    best = anchor.weight
+    for x in xs:
+        column = [wr for wr in clipped if wr.rect.x1 < x < wr.rect.x2]
+        for y in ys:
+            w = anchor.weight + sum(
+                wr.weight for wr in column if wr.rect.y1 < y < wr.rect.y2
+            )
+            if w > best:
+                best = w
+    return best
+
+
+def brute_force_topk_anchored(
+    rects: Sequence[WeightedRect], k: int
+) -> list[tuple[float, int]]:
+    """Anchored top-k reference (DESIGN.md §1 semantics).
+
+    ``rects`` must be ordered oldest-first.  For each rectangle acting
+    as anchor, the best space covered by the anchor plus *newer*
+    overlapping rectangles is computed exhaustively; the ``k`` heaviest
+    per-anchor spaces are returned as ``(weight, anchor_oid)`` pairs,
+    best first (ties broken by anchor id for determinism).
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    scored: list[tuple[float, int]] = []
+    for i, anchor in enumerate(rects):
+        if anchor.rect.is_degenerate:
+            continue
+        newer = [
+            wr
+            for wr in rects[i + 1 :]
+            if wr.rect.overlaps(anchor.rect)
+        ]
+        scored.append((brute_force_anchored_best(anchor, newer), anchor.oid))
+    scored.sort(key=lambda t: (-t[0], t[1]))
+    return scored[:k]

@@ -1,0 +1,198 @@
+"""Plane-sweep MaxRS solvers (the paper's §3 building block).
+
+Implements the optimal O(n log n) in-memory algorithm of Nandy &
+Bhattacharya [18] / Imai & Asano [12]: sweep a horizontal line from the
+bottom to the top of a set of weighted rectangles while a
+:class:`~repro.core.segment_tree.MaxCoverSegmentTree` tracks the total
+weight covering each elementary x-interval.  Three entry points:
+
+* :func:`plane_sweep_max` — the classic one-shot MaxRS over a rectangle
+  set; this is what the *naive* baseline re-runs from scratch per batch.
+* :func:`plane_sweep_topk` — single-sweep top-k: one candidate per
+  insertion event (range-max over the inserted rectangle's span),
+  de-duplicated by arrangement cell.  Its top-1 equals
+  ``plane_sweep_max``; see DESIGN.md §1 for lower-rank semantics.
+* :func:`local_plane_sweep` — the paper's ``Local-Plane-Sweep(N(ri) ∪
+  {ri})``: neighbours are clipped to the anchor rectangle so the result
+  is the best space *on* the anchor, which is how G2/aG2 compute ``si``.
+
+Reported regions are elementary cells of the sweep arrangement: a
+sub-rectangle of the (possibly wider) maximal-weight space.  Every
+interior point attains the reported weight, which is all MaxRS needs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Sequence
+
+from repro.core.geometry import Rect
+from repro.core.objects import WeightedRect
+from repro.core.segment_tree import MaxCoverSegmentTree
+from repro.core.spaces import Region
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "plane_sweep_max",
+    "plane_sweep_topk",
+    "local_plane_sweep",
+    "sweep_items_max",
+]
+
+_REMOVE = 0
+_INSERT = 1
+
+
+def _prepare(
+    items: Sequence[tuple[Rect, float]],
+) -> tuple[list[float], list[tuple[float, int, int, int, float]]] | None:
+    """Build the slot coordinate array and the y-sorted event list.
+
+    Returns ``None`` when no rectangle has positive area.  Each event is
+    ``(y, kind, lo_slot, hi_slot, weight)``; removals sort before
+    insertions at equal ``y`` so that every queried strip has positive
+    height (strict-interior semantics).
+    """
+    xs_set: set[float] = set()
+    live: list[tuple[Rect, float]] = []
+    for rect, w in items:
+        if rect.is_degenerate:
+            continue
+        live.append((rect, w))
+        xs_set.add(rect.x1)
+        xs_set.add(rect.x2)
+    if not live:
+        return None
+    xs = sorted(xs_set)
+    events: list[tuple[float, int, int, int, float]] = []
+    for rect, w in live:
+        lo = bisect_left(xs, rect.x1)
+        hi = bisect_left(xs, rect.x2) - 1
+        events.append((rect.y1, _INSERT, lo, hi, w))
+        events.append((rect.y2, _REMOVE, lo, hi, w))
+    events.sort(key=lambda e: (e[0], e[1]))
+    return xs, events
+
+
+def _iter_y_groups(
+    events: list[tuple[float, int, int, int, float]],
+    tree: MaxCoverSegmentTree,
+) -> Iterable[tuple[float, float, list[tuple[int, int]]]]:
+    """Apply events group-by-group; yield ``(y, y_next, inserted_spans)``
+    after each group that performed at least one insertion."""
+    n = len(events)
+    i = 0
+    while i < n:
+        y = events[i][0]
+        inserted: list[tuple[int, int]] = []
+        while i < n and events[i][0] == y:
+            _, kind, lo, hi, w = events[i]
+            if kind == _INSERT:
+                tree.add(lo, hi, w)
+                inserted.append((lo, hi))
+            else:
+                tree.add(lo, hi, -w)
+            i += 1
+        if inserted and i < n:
+            yield y, events[i][0], inserted
+
+
+def sweep_items_max(
+    items: Sequence[tuple[Rect, float]],
+) -> tuple[float, Rect] | None:
+    """Core sweep over ``(rect, weight)`` pairs.
+
+    Returns ``(weight, region_rect)`` of a maximum-weight overlap space,
+    or ``None`` when no rectangle has positive area.
+    """
+    prepared = _prepare(items)
+    if prepared is None:
+        return None
+    xs, events = prepared
+    tree = MaxCoverSegmentTree(max(1, len(xs) - 1))
+    best_w = float("-inf")
+    best: tuple[int, float, float] | None = None
+    for y, y_next, _inserted in _iter_y_groups(events, tree):
+        value = tree.max_value
+        if value > best_w:
+            best_w = value
+            best = (tree.argmax, y, y_next)
+    if best is None:
+        return None
+    slot, y, y_next = best
+    return best_w, Rect(xs[slot], y, xs[slot + 1], y_next)
+
+
+def plane_sweep_max(rects: Sequence[WeightedRect]) -> Region | None:
+    """One-shot exact MaxRS over a set of weighted rectangles.
+
+    The returned region is an arrangement cell attaining the maximum
+    range-sum; ``None`` iff ``rects`` contains no positive-area
+    rectangle.
+    """
+    result = sweep_items_max([(wr.rect, wr.weight) for wr in rects])
+    if result is None:
+        return None
+    weight, rect = result
+    return Region(rect=rect, weight=weight)
+
+
+def plane_sweep_topk(rects: Sequence[WeightedRect], k: int) -> list[Region]:
+    """Single-sweep top-k MaxRS (the Figure 11 naive baseline).
+
+    At every sweep strip where insertions happened, each inserted
+    rectangle contributes the best arrangement cell within its x-span as
+    a candidate.  Candidates are de-duplicated by cell identity
+    ``(slot, strip)`` and the ``k`` heaviest survive, best first.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    prepared = _prepare([(wr.rect, wr.weight) for wr in rects])
+    if prepared is None:
+        return []
+    xs, events = prepared
+    tree = MaxCoverSegmentTree(max(1, len(xs) - 1))
+    # arrangement cell -> (weight, slot, y, y_next)
+    candidates: dict[tuple[int, float], tuple[float, int, float, float]] = {}
+    for y, y_next, inserted in _iter_y_groups(events, tree):
+        for lo, hi in inserted:
+            value, slot = tree.range_max(lo, hi)
+            key = (slot, y)
+            prev = candidates.get(key)
+            if prev is None or value > prev[0]:
+                candidates[key] = (value, slot, y, y_next)
+    ranked = sorted(candidates.values(), key=lambda c: c[0], reverse=True)
+    return [
+        Region(rect=Rect(xs[slot], y, xs[slot + 1], y_next), weight=value)
+        for value, slot, y, y_next in ranked[:k]
+    ]
+
+
+def local_plane_sweep(
+    anchor: WeightedRect, neighbors: Sequence[WeightedRect]
+) -> Region:
+    """``Local-Plane-Sweep(N(ri) ∪ {ri})`` — best space on the anchor.
+
+    Neighbour rectangles are clipped to the anchor's extent (the space
+    ``si`` is by definition a subspace of ``ri``), then a sweep bounded
+    to the anchor's y-range finds the heaviest overlap.  With no
+    overlapping neighbours the anchor's own extent and weight are
+    returned.  The result carries ``anchor_oid`` so graph-based monitors
+    can de-duplicate spaces by anchor (Property 1).
+    """
+    items: list[tuple[Rect, float]] = [(anchor.rect, anchor.weight)]
+    for nb in neighbors:
+        clipped = nb.rect.clip(anchor.rect)
+        if clipped is not None and not clipped.is_degenerate:
+            items.append((clipped, nb.weight))
+    if len(items) == 1:
+        return Region(
+            rect=anchor.rect, weight=anchor.weight, anchor_oid=anchor.oid
+        )
+    result = sweep_items_max(items)
+    if result is None:  # anchor degenerate and nothing else: weight only
+        return Region(
+            rect=anchor.rect, weight=anchor.weight, anchor_oid=anchor.oid
+        )
+    weight, rect = result
+    return Region(rect=rect, weight=weight, anchor_oid=anchor.oid)

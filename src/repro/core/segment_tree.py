@@ -1,0 +1,133 @@
+"""Max-cover segment tree — the substrate of the plane-sweep algorithm.
+
+The plane sweep of Nandy & Bhattacharya [18] (the paper's
+``Plane-Sweep``) maintains, while a horizontal line moves bottom-to-top,
+the total weight covering each elementary x-interval.  This module
+provides the required structure: a segment tree over ``n`` elementary
+slots supporting
+
+* ``add(lo, hi, delta)`` — add ``delta`` to every slot in ``[lo, hi]``,
+* ``max_value`` / ``argmax`` — the best slot overall in O(1),
+* ``range_max(lo, hi)`` — the best slot within a slot range,
+
+all in O(log n) with lazy propagation.  Argmax ties resolve to the
+leftmost slot, which keeps results deterministic across runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["MaxCoverSegmentTree"]
+
+
+class MaxCoverSegmentTree:
+    """Segment tree over ``size`` slots with range-add and max/argmax."""
+
+    __slots__ = ("size", "_max", "_arg", "_lazy")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise InvalidParameterError(
+                f"segment tree needs at least one slot, got {size}"
+            )
+        self.size = size
+        cap = 4 * size
+        self._max = [0.0] * cap
+        # slot index at which the subtree max is attained (leftmost tie)
+        self._arg = [0] * cap
+        self._lazy = [0.0] * cap
+        self._build(1, 0, size - 1)
+
+    # -- construction ---------------------------------------------------
+
+    def _build(self, node: int, lo: int, hi: int) -> None:
+        # iterative DFS to set argmax of every subtree to its leftmost slot
+        stack = [(node, lo, hi)]
+        arg = self._arg
+        while stack:
+            nd, a, b = stack.pop()
+            arg[nd] = a
+            if a != b:
+                mid = (a + b) // 2
+                stack.append((2 * nd, a, mid))
+                stack.append((2 * nd + 1, mid + 1, b))
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, lo: int, hi: int, delta: float) -> None:
+        """Add ``delta`` to every slot in the inclusive range ``[lo, hi]``."""
+        if lo < 0 or hi >= self.size or lo > hi:
+            raise InvalidParameterError(
+                f"slot range [{lo}, {hi}] out of bounds for size {self.size}"
+            )
+        self._add(1, 0, self.size - 1, lo, hi, delta)
+
+    def _add(
+        self, node: int, a: int, b: int, lo: int, hi: int, delta: float
+    ) -> None:
+        if lo <= a and b <= hi:
+            self._max[node] += delta
+            self._lazy[node] += delta
+            return
+        mid = (a + b) // 2
+        left = 2 * node
+        right = left + 1
+        if lo <= mid:
+            self._add(left, a, mid, lo, min(hi, mid), delta)
+        if hi > mid:
+            self._add(right, mid + 1, b, max(lo, mid + 1), hi, delta)
+        lazy = self._lazy[node]
+        lmax = self._max[left]
+        rmax = self._max[right]
+        if lmax >= rmax:  # leftmost tie-break
+            self._max[node] = lmax + lazy
+            self._arg[node] = self._arg[left]
+        else:
+            self._max[node] = rmax + lazy
+            self._arg[node] = self._arg[right]
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def max_value(self) -> float:
+        """The maximum slot value over the whole tree."""
+        return self._max[1]
+
+    @property
+    def argmax(self) -> int:
+        """The leftmost slot attaining :attr:`max_value`."""
+        return self._arg[1]
+
+    def range_max(self, lo: int, hi: int) -> tuple[float, int]:
+        """``(value, slot)`` of the best slot within ``[lo, hi]``."""
+        if lo < 0 or hi >= self.size or lo > hi:
+            raise InvalidParameterError(
+                f"slot range [{lo}, {hi}] out of bounds for size {self.size}"
+            )
+        return self._range_max(1, 0, self.size - 1, lo, hi, 0.0)
+
+    def _range_max(
+        self, node: int, a: int, b: int, lo: int, hi: int, acc: float
+    ) -> tuple[float, int]:
+        if lo <= a and b <= hi:
+            return (self._max[node] + acc, self._arg[node])
+        acc += self._lazy[node]
+        mid = (a + b) // 2
+        if hi <= mid:
+            return self._range_max(2 * node, a, mid, lo, hi, acc)
+        if lo > mid:
+            return self._range_max(2 * node + 1, mid + 1, b, lo, hi, acc)
+        lval, larg = self._range_max(2 * node, a, mid, lo, mid, acc)
+        rval, rarg = self._range_max(
+            2 * node + 1, mid + 1, b, mid + 1, hi, acc
+        )
+        if lval >= rval:
+            return (lval, larg)
+        return (rval, rarg)
+
+    # -- debugging helpers -------------------------------------------------
+
+    def to_list(self) -> list[float]:
+        """Materialise all slot values (O(n log n); tests only)."""
+        return [self.range_max(i, i)[0] for i in range(self.size)]

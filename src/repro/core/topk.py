@@ -1,0 +1,214 @@
+"""Continuous top-k MaxRS monitoring (paper §6.2, Algorithm 6).
+
+The top-k monitor is the branch-and-bound monitor with the pruning
+threshold generalised from ``s*.w`` to the *k-th largest* known anchored
+space weight.  Spaces are anchored at vertices (Property 1 makes
+per-vertex spaces distinct); the answer set ``S*`` is the ``k`` best
+anchored spaces, de-duplicated by anchor object across grid cells.
+
+Bookkeeping beyond Algorithm 2 (see DESIGN.md §1 "Top-k semantics"):
+
+* every cell keeps ``top`` — its k best vertices by exact space weight —
+  rebuilt whenever the cell is exactly recomputed or loses a listed
+  vertex to expiry;
+* the global threshold ``ρ`` is the k-th best weight over all cell
+  lists (a valid lower bound of the true k-th value, which is all
+  pruning soundness requires);
+* the branch-and-bound pass visits the cells currently owning ``S*``
+  first (Algorithm 6 line 2), then the rest in decreasing ``c.w``
+  order, raising ``ρ`` as exact values improve.
+
+Correctness argument: after a pass, every alive vertex either carries
+its exact ``si`` or was pruned while its bound was ≤ the then-current
+ρ ≤ final ρ; hence any vertex with true ``si`` above the final k-th
+recorded weight is exact and ranked, so the reported k weights are the
+true top-k (ties broken arbitrarily, as Definition 4 allows).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict
+
+from repro.core.ag2 import AG2Cell, AG2Monitor
+from repro.core.graph import Vertex
+from repro.core.grid import CellKey
+from repro.core.spaces import MaxRSResult, Region
+from repro.errors import InvalidParameterError
+from repro.window.base import SlidingWindow, WindowUpdate
+
+__all__ = ["TopKAG2Monitor"]
+
+_NEG_INF = float("-inf")
+
+# candidate pool entry: anchor oid -> (vertex, key of the cell it lives in)
+_Candidates = Dict[int, tuple[Vertex, CellKey]]
+
+
+class _TopKCell(AG2Cell):
+    """aG2 cell extended with its k best vertices (exact-space order)."""
+
+    __slots__ = ("top",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.top: list[Vertex] = []
+
+    def rebuild_top(self, k: int) -> None:
+        self.top = heapq.nlargest(
+            k, self.graph.iter_vertices(), key=lambda v: v.space.weight
+        )
+
+
+class TopKAG2Monitor(AG2Monitor):
+    """Branch-and-bound continuous top-k MaxRS monitor (Algorithm 6).
+
+    Anchor objects must carry unique ``oid`` values (the default
+    auto-assigned identifiers do); the answer is de-duplicated by
+    anchor across grid cells.
+    """
+
+    def __init__(
+        self,
+        rect_width: float,
+        rect_height: float,
+        window: SlidingWindow,
+        k: int,
+        cell_size: float | None = None,
+    ) -> None:
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        super().__init__(rect_width, rect_height, window, cell_size=cell_size)
+        self.k = k
+        # final ranked answer of the last pass, best first
+        self._answer: list[Vertex] = []
+
+    # -- cell plumbing overrides ------------------------------------------------
+
+    def _make_cell(self) -> AG2Cell:
+        return _TopKCell()
+
+    def _cell_purged(self, cell: AG2Cell) -> None:
+        assert isinstance(cell, _TopKCell)
+        alive = [v for v in cell.top if v.seq > self._expired_upto]
+        if len(alive) != len(cell.top):
+            # a listed vertex expired: the list may now omit one of the
+            # cell's k best, so rebuild from the graph
+            cell.rebuild_top(self.k)
+
+    # -- Algorithm 6 -----------------------------------------------------------------
+
+    def _on_delta(self, delta: WindowUpdate) -> None:
+        self._expired_upto += len(delta.expired)
+        self._map_arrivals(delta)
+        self._purge_all()
+        self._star = None  # top-1 bookkeeping unused in top-k mode
+        self._star_cell = None
+        if not self._cells:
+            self._answer = []
+            return
+        candidates = self._merge_candidates()
+        rho = self._kth_weight(candidates)
+        # line 2: refresh the cells currently owning S* members first so
+        # the threshold is as honest as possible before pruning starts
+        priority = {
+            key
+            for _v, key in heapq.nlargest(
+                self.k,
+                candidates.values(),
+                key=lambda entry: entry[0].space.weight,
+            )
+        }
+        if not priority:
+            priority = {
+                max(self._cells, key=lambda key: (self._cells[key].cw, key))
+            }
+        for key in priority:
+            cell = self._cells.get(key)
+            if cell is None:
+                continue
+            self._overlap_computation(cell)
+            rho = self._exact_topk(key, rho, candidates)
+        # lines 7-8: branch-and-bound over the remaining cells
+        order = sorted(
+            (key for key in self._cells if key not in priority),
+            key=lambda key: -self._cells[key].cw,
+        )
+        for pos, key in enumerate(order):
+            cell = self._cells[key]
+            if not cell.cw > rho:
+                self.stats.cells_pruned += len(order) - pos
+                break
+            self._overlap_computation(cell)
+            if cell.cw > rho:
+                rho = self._exact_topk(key, rho, candidates)
+            else:
+                self.stats.cells_pruned += 1
+        self._answer = self._rank(candidates)
+
+    # -- candidate management ----------------------------------------------------------
+
+    def _merge_candidates(self) -> _Candidates:
+        """All cell-list vertices, de-duplicated by anchor object
+        (keeping the copy with the larger exact space)."""
+        merged: _Candidates = {}
+        for key, cell in self._cells.items():
+            assert isinstance(cell, _TopKCell)
+            for v in cell.top:
+                oid = v.wr.oid
+                held = merged.get(oid)
+                if held is None or v.space.weight > held[0].space.weight:
+                    merged[oid] = (v, key)
+        return merged
+
+    def _kth_weight(self, candidates: _Candidates) -> float:
+        if len(candidates) < self.k:
+            return _NEG_INF
+        return heapq.nlargest(
+            self.k, (v.space.weight for v, _key in candidates.values())
+        )[-1]
+
+    def _rank(self, candidates: _Candidates) -> list[Vertex]:
+        return [
+            v
+            for v, _key in heapq.nlargest(
+                self.k,
+                candidates.values(),
+                key=lambda entry: (entry[0].space.weight, -entry[0].seq),
+            )
+        ]
+
+    # -- exact recomputation ------------------------------------------------------------
+
+    def _exact_topk(
+        self, key: CellKey, rho: float, candidates: _Candidates
+    ) -> float:
+        """Algorithm 4 generalised to the k-th-weight threshold: sweep
+        every vertex whose bound beats ρ, fold results into the global
+        candidate pool, rebuild the cell list, and return the raised ρ."""
+        cell = self._cells[key]
+        assert isinstance(cell, _TopKCell)
+        cw = 0.0
+        for v in cell.graph.iter_vertices():
+            if v.upper > rho:
+                if len(v.neighbors) != v.swept_degree:
+                    self._sweep_vertex(v)
+                oid = v.wr.oid
+                held = candidates.get(oid)
+                if held is None or v.space.weight > held[0].space.weight:
+                    candidates[oid] = (v, key)
+            else:
+                self.stats.vertices_pruned += 1
+            if v.upper > cw:
+                cw = v.upper
+        cell.cw = cw
+        cell.rebuild_top(self.k)
+        return max(rho, self._kth_weight(candidates))
+
+    # -- result -------------------------------------------------------------------------
+
+    def _compute_result(self, tick: int) -> MaxRSResult:
+        regions: list[Region] = [v.space for v in self._answer]
+        return MaxRSResult.ranked(
+            regions, tick=tick, window_size=len(self.window)
+        )

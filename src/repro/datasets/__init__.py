@@ -1,0 +1,15 @@
+"""Evaluation workloads: the paper's four datasets (or stand-ins)."""
+
+from repro.datasets.profiles import DATASET_NAMES
+from repro.datasets.registry import (
+    available_datasets,
+    make_stream,
+    register_dataset,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "available_datasets",
+    "make_stream",
+    "register_dataset",
+]

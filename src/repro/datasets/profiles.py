@@ -1,0 +1,101 @@
+"""Workload profiles standing in for the paper's evaluation datasets.
+
+Each profile instantiates a generator whose *spatial skew* reproduces
+the corresponding corpus' behaviour in the paper's figures (DESIGN.md
+§3): uniform Synthetic is the easiest workload, the Geolife stand-in —
+a few very tight campus-like hotspots — is by far the hardest, with the
+taxi-fleet T-Drive and Roma stand-ins in between (Roma more centrally
+concentrated than T-Drive).  Weights are uniform ``[0, 1000]`` as in
+§7.1.
+"""
+
+from __future__ import annotations
+
+from repro.streams.mixture import Hotspot, HotspotMixtureStream
+from repro.streams.source import StreamSource
+from repro.streams.synthetic import UniformStream
+from repro.streams.trajectory import TrajectoryFleetStream
+
+__all__ = [
+    "DATASET_NAMES",
+    "make_synthetic",
+    "make_tdrive_like",
+    "make_geolife_like",
+    "make_roma_like",
+]
+
+DATASET_NAMES = ("synthetic", "tdrive_like", "geolife_like", "roma_like")
+
+
+def make_synthetic(
+    domain: float, seed: int = 0, weight_max: float = 1000.0
+) -> StreamSource:
+    """Uniform i.i.d. objects — the paper's Synthetic dataset."""
+    return UniformStream(domain=domain, weight_max=weight_max, seed=seed)
+
+
+def make_tdrive_like(
+    domain: float, seed: int = 0, weight_max: float = 1000.0
+) -> StreamSource:
+    """Beijing-taxi stand-in: a vehicle fleet roaming a 3×3 grid of
+    moderate attractors (arterial intersections), mild skew."""
+    centres = [0.2, 0.5, 0.8]
+    hotspots = [
+        Hotspot(cx=cx, cy=cy, sigma=0.05, share=1.0)
+        for cx in centres
+        for cy in centres
+    ]
+    return TrajectoryFleetStream(
+        vehicles=250,
+        hotspots=hotspots,
+        hotspot_bias=0.6,
+        speed=0.012,
+        domain=domain,
+        weight_max=weight_max,
+        seed=seed,
+    )
+
+
+def make_geolife_like(
+    domain: float, seed: int = 0, weight_max: float = 1000.0
+) -> StreamSource:
+    """Geolife stand-in: extreme campus-style concentration — a couple
+    of very tight hotspots hold most of the stream.  The paper's
+    hardest dataset; almost every rectangle in a hotspot overlaps."""
+    hotspots = [
+        Hotspot(cx=0.42, cy=0.58, sigma=0.025, share=0.45),
+        Hotspot(cx=0.46, cy=0.55, sigma=0.030, share=0.30),
+        Hotspot(cx=0.70, cy=0.30, sigma=0.040, share=0.15),
+    ]
+    return HotspotMixtureStream(
+        hotspots=hotspots,
+        background_share=0.10,
+        domain=domain,
+        weight_max=weight_max,
+        seed=seed,
+    )
+
+
+def make_roma_like(
+    domain: float, seed: int = 0, weight_max: float = 1000.0
+) -> StreamSource:
+    """Rome-taxi stand-in: one dominant historic-centre cluster with a
+    ring of secondary destinations; strong but not Geolife-extreme."""
+    ring = [
+        (0.35, 0.50),
+        (0.50, 0.70),
+        (0.65, 0.50),
+        (0.50, 0.30),
+        (0.62, 0.66),
+        (0.38, 0.34),
+    ]
+    hotspots = [Hotspot(cx=0.5, cy=0.5, sigma=0.045, share=0.50)] + [
+        Hotspot(cx=cx, cy=cy, sigma=0.030, share=0.06) for cx, cy in ring
+    ]
+    return HotspotMixtureStream(
+        hotspots=hotspots,
+        background_share=0.14,
+        domain=domain,
+        weight_max=weight_max,
+        seed=seed,
+    )

@@ -1,0 +1,62 @@
+"""Dataset registry: name → stream factory.
+
+The four names mirror the paper's §7.1 evaluation datasets; see
+``repro.datasets.profiles`` for what each stand-in reproduces and
+DESIGN.md §3 for the substitution rationale.  Custom workloads can be
+registered at runtime (e.g. a :class:`~repro.streams.replay.CsvStream`
+over the real T-Drive corpus).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.datasets import profiles
+from repro.errors import InvalidParameterError
+from repro.streams.source import StreamSource
+
+__all__ = ["available_datasets", "make_stream", "register_dataset"]
+
+StreamFactory = Callable[..., StreamSource]
+
+_REGISTRY: Dict[str, StreamFactory] = {
+    "synthetic": profiles.make_synthetic,
+    "tdrive_like": profiles.make_tdrive_like,
+    "geolife_like": profiles.make_geolife_like,
+    "roma_like": profiles.make_roma_like,
+}
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Registered dataset names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def register_dataset(name: str, factory: StreamFactory) -> None:
+    """Register (or replace) a named stream factory.
+
+    The factory must accept ``domain`` and keyword arguments ``seed``
+    and ``weight_max``, matching the built-in profiles.
+    """
+    if not name:
+        raise InvalidParameterError("dataset name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def make_stream(
+    name: str,
+    domain: float = 140_000.0,
+    seed: int = 0,
+    weight_max: float = 1000.0,
+) -> StreamSource:
+    """Instantiate a registered dataset.
+
+    The default domain of 140,000 matches the paper's default overlap
+    density at the scaled-down benchmark window (DESIGN.md §3).
+    """
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise InvalidParameterError(
+            f"unknown dataset {name!r}; available: {', '.join(_REGISTRY)}"
+        )
+    return factory(domain, seed=seed, weight_max=weight_max)

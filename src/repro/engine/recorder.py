@@ -1,0 +1,149 @@
+"""Result recording and hotspot-change detection.
+
+The paper's motivating applications are *reactive*: urban-sensing
+operators warn users when the congestion hotspot moves (Example 1.2),
+game players replan when the contested area shifts (Example 1.3).
+:class:`ResultRecorder` wraps those patterns: it keeps a bounded
+history of answers, computes deltas between consecutive answers, and
+fires registered callbacks when the monitored region *moves* farther
+than a threshold or its weight changes by more than a ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque
+
+from repro.core.spaces import MaxRSResult, Region
+from repro.errors import InvalidParameterError
+
+__all__ = ["ResultChange", "ResultRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class ResultChange:
+    """Delta between two consecutive recorded answers."""
+
+    tick: int
+    previous: Region | None
+    current: Region | None
+    moved_distance: float
+    weight_ratio: float
+
+    @property
+    def appeared(self) -> bool:
+        return self.previous is None and self.current is not None
+
+    @property
+    def disappeared(self) -> bool:
+        return self.previous is not None and self.current is None
+
+
+ChangeListener = Callable[[ResultChange], None]
+
+
+class ResultRecorder:
+    """Bounded history of monitor answers with change notifications.
+
+    Args:
+        move_threshold: Minimum distance the best placement must move
+            (between consecutive answers) to count as a relocation.
+        weight_threshold: Minimum relative weight change (e.g. ``0.2``
+            = 20%) to count as a change.
+        history: Maximum retained answers.
+    """
+
+    def __init__(
+        self,
+        move_threshold: float = 0.0,
+        weight_threshold: float = 0.0,
+        history: int = 1024,
+    ) -> None:
+        if move_threshold < 0 or weight_threshold < 0:
+            raise InvalidParameterError("thresholds must be non-negative")
+        if history <= 0:
+            raise InvalidParameterError(f"history must be positive, got {history}")
+        self.move_threshold = move_threshold
+        self.weight_threshold = weight_threshold
+        self._history: Deque[MaxRSResult] = deque(maxlen=history)
+        self._listeners: list[ChangeListener] = []
+        self._changes = 0
+
+    # -- listeners -----------------------------------------------------------
+
+    def on_change(self, listener: ChangeListener) -> None:
+        """Register a callback fired on every significant change."""
+        self._listeners.append(listener)
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, result: MaxRSResult) -> ResultChange | None:
+        """Record one answer; return the change if it was significant."""
+        previous = self._history[-1].best if self._history else None
+        self._history.append(result)
+        current = result.best
+        change = self._diff(result.tick, previous, current)
+        if change is not None:
+            self._changes += 1
+            for listener in self._listeners:
+                listener(change)
+        return change
+
+    def _diff(
+        self, tick: int, previous: Region | None, current: Region | None
+    ) -> ResultChange | None:
+        if previous is None and current is None:
+            return None
+        if previous is None or current is None:
+            return ResultChange(
+                tick=tick,
+                previous=previous,
+                current=current,
+                moved_distance=math.inf,
+                weight_ratio=math.inf,
+            )
+        px, py = previous.best_point
+        cx, cy = current.best_point
+        distance = math.hypot(cx - px, cy - py)
+        if previous.weight > 0:
+            ratio = abs(current.weight - previous.weight) / previous.weight
+        else:
+            ratio = math.inf if current.weight > 0 else 0.0
+        moved = distance > self.move_threshold
+        reweighted = ratio > self.weight_threshold
+        if not (moved or reweighted):
+            return None
+        return ResultChange(
+            tick=tick,
+            previous=previous,
+            current=current,
+            moved_distance=distance,
+            weight_ratio=ratio,
+        )
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def history(self) -> tuple[MaxRSResult, ...]:
+        return tuple(self._history)
+
+    @property
+    def change_count(self) -> int:
+        return self._changes
+
+    @property
+    def latest(self) -> MaxRSResult | None:
+        return self._history[-1] if self._history else None
+
+    def weight_series(self) -> list[float]:
+        """Best weight per recorded answer (dashboards, tests)."""
+        return [result.best_weight for result in self._history]
+
+    def stability(self) -> float:
+        """Fraction of recorded updates that did NOT significantly
+        change the answer — 1.0 means a perfectly stable hotspot."""
+        if not self._history:
+            return 1.0
+        return 1.0 - self._changes / len(self._history)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` and friends)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidGeometryError(ReproError):
+    """A rectangle or region was constructed with inverted or NaN bounds."""
+
+
+class InvalidParameterError(ReproError):
+    """A query, window or index parameter is outside its valid domain."""
+
+
+class WindowOrderError(ReproError):
+    """Objects were pushed into a time-based window out of timestamp order."""
+
+
+class EmptyWindowError(ReproError):
+    """An operation that requires alive objects was invoked on an empty window."""
+
+
+class InvariantViolationError(ReproError):
+    """An internal index invariant check failed.
+
+    Raised only from explicit ``check_invariants()`` calls; production
+    paths never pay for the verification.
+    """

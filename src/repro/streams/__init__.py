@@ -1,0 +1,19 @@
+"""Stream sources: synthetic workloads, trajectory simulators, replays."""
+
+from repro.streams.mixture import Hotspot, HotspotMixtureStream
+from repro.streams.replay import CsvStream, ReplayStream, write_csv
+from repro.streams.source import StreamSource, batches
+from repro.streams.synthetic import UniformStream
+from repro.streams.trajectory import TrajectoryFleetStream
+
+__all__ = [
+    "CsvStream",
+    "Hotspot",
+    "HotspotMixtureStream",
+    "ReplayStream",
+    "StreamSource",
+    "TrajectoryFleetStream",
+    "UniformStream",
+    "batches",
+    "write_csv",
+]

@@ -1,0 +1,83 @@
+"""Replay streams from files or in-memory sequences.
+
+Real deployments feed monitors from logs or message queues;
+:class:`ReplayStream` wraps any ordered sequence of objects, and
+:class:`CsvStream` reads the simple ``x,y,weight[,timestamp]`` format
+so the paper's real corpora can be dropped in verbatim when available
+(normalise coordinates first, as §7.1 does).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.core.objects import SpatialObject
+from repro.errors import InvalidParameterError
+from repro.streams.source import StreamSource
+
+__all__ = ["ReplayStream", "CsvStream", "write_csv"]
+
+
+class ReplayStream(StreamSource):
+    """Stream over an in-memory sequence, in the given order."""
+
+    def __init__(self, objects: Sequence[SpatialObject]) -> None:
+        self._objects = tuple(objects)
+
+    def __iter__(self) -> Iterator[SpatialObject]:
+        return iter(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+
+class CsvStream(StreamSource):
+    """Stream over a CSV file of ``x,y,weight[,timestamp]`` rows.
+
+    Rows starting with ``#`` and a ``x,y,...`` header line are skipped.
+    Each full iteration re-reads the file, so a ``CsvStream`` can be
+    replayed any number of times.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if not self.path.exists():
+            raise InvalidParameterError(f"no such stream file: {self.path}")
+
+    def __iter__(self) -> Iterator[SpatialObject]:
+        with self.path.open(newline="") as fh:
+            for lineno, row in enumerate(csv.reader(fh), start=1):
+                if not row or row[0].startswith("#"):
+                    continue
+                if lineno == 1 and not _is_number(row[0]):
+                    continue  # header
+                if len(row) < 3:
+                    raise InvalidParameterError(
+                        f"{self.path}:{lineno}: expected x,y,weight[,timestamp]"
+                    )
+                timestamp = float(row[3]) if len(row) > 3 else float(lineno)
+                yield SpatialObject(
+                    x=float(row[0]),
+                    y=float(row[1]),
+                    weight=float(row[2]),
+                    timestamp=timestamp,
+                )
+
+
+def write_csv(path: str | Path, objects: Sequence[SpatialObject]) -> None:
+    """Persist a stream prefix in the :class:`CsvStream` format."""
+    with Path(path).open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["x", "y", "weight", "timestamp"])
+        for obj in objects:
+            writer.writerow([obj.x, obj.y, obj.weight, obj.timestamp])
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True

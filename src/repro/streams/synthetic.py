@@ -1,0 +1,66 @@
+"""Synthetic uniform workload (the paper's Synthetic dataset, §7.1).
+
+Objects are drawn i.i.d. uniformly over a square domain with weights
+uniform in ``[0, weight_max]`` — exactly the paper's synthetic setup
+(domain ``[0, 10^6]²``, weights ``[0, 1000]``), with the domain side
+configurable so benchmarks can keep the paper's overlap *density* at a
+Python-friendly window size (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.objects import SpatialObject
+from repro.errors import InvalidParameterError
+from repro.streams.source import StreamSource
+
+__all__ = ["UniformStream"]
+
+
+class UniformStream(StreamSource):
+    """Unbounded i.i.d. uniform stream over ``[0, domain]²``.
+
+    Args:
+        domain: Side length of the square monitoring space.
+        weight_max: Weights are uniform in ``[0, weight_max]``; pass 0
+            for unit weights (every object weighs exactly 1).
+        seed: Seed of the private RNG — streams are reproducible and
+            independent of global random state.
+        dt: Timestamp increment between consecutive objects.
+    """
+
+    def __init__(
+        self,
+        domain: float = 1_000_000.0,
+        weight_max: float = 1000.0,
+        seed: int = 0,
+        dt: float = 1.0,
+    ) -> None:
+        if domain <= 0:
+            raise InvalidParameterError(f"domain must be positive, got {domain}")
+        if weight_max < 0:
+            raise InvalidParameterError(
+                f"weight_max must be >= 0, got {weight_max}"
+            )
+        self.domain = float(domain)
+        self.weight_max = float(weight_max)
+        self.seed = seed
+        self.dt = dt
+
+    def __iter__(self) -> Iterator[SpatialObject]:
+        rng = random.Random(self.seed)
+        domain = self.domain
+        wmax = self.weight_max
+        dt = self.dt
+        t = 0.0
+        while True:
+            weight = rng.uniform(0.0, wmax) if wmax > 0 else 1.0
+            yield SpatialObject(
+                x=rng.uniform(0.0, domain),
+                y=rng.uniform(0.0, domain),
+                weight=weight,
+                timestamp=t,
+            )
+            t += dt

@@ -1,0 +1,134 @@
+"""Trajectory fleet workloads — GPS-like streams with temporal locality.
+
+The paper's T-Drive and Roma corpora are *taxi trajectories*: each
+vehicle reports positions along a continuous path, so consecutive
+stream objects are spatially correlated and hotspots emerge where many
+vehicles converge.  :class:`TrajectoryFleetStream` simulates a fleet of
+random-waypoint agents attracted to hotspots; objects are emitted
+round-robin across vehicles in timestamp order, which reproduces both
+the skew and the temporal locality of a real GPS feed (the properties
+the paper's evaluation depends on — see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.objects import SpatialObject
+from repro.errors import InvalidParameterError
+from repro.streams.mixture import Hotspot
+from repro.streams.source import StreamSource
+
+__all__ = ["TrajectoryFleetStream"]
+
+
+@dataclass
+class _Vehicle:
+    x: float
+    y: float
+    target_x: float
+    target_y: float
+    speed: float
+
+
+class TrajectoryFleetStream(StreamSource):
+    """Random-waypoint vehicle fleet with hotspot-biased destinations.
+
+    Args:
+        vehicles: Fleet size; one object is emitted per vehicle per
+            round, round-robin.
+        hotspots: Destination attractors.  With probability
+            ``hotspot_bias`` a vehicle's next waypoint is drawn from a
+            hotspot (share-weighted), otherwise uniformly.
+        hotspot_bias: Probability of a hotspot-directed trip.
+        speed: Distance travelled per time unit, as a fraction of the
+            domain side (typical taxi: ~0.5–2% per tick).
+        domain: Side length of the square monitoring space.
+        weight_max: Weights uniform in ``[0, weight_max]`` (0 → unit).
+        seed: Private RNG seed.
+        dt: Time between consecutive *emissions* (a full fleet round
+            advances time by ``vehicles * dt``).
+    """
+
+    def __init__(
+        self,
+        vehicles: int = 200,
+        hotspots: Sequence[Hotspot] = (),
+        hotspot_bias: float = 0.7,
+        speed: float = 0.01,
+        domain: float = 1_000_000.0,
+        weight_max: float = 1000.0,
+        seed: int = 0,
+        dt: float = 1.0,
+    ) -> None:
+        if vehicles <= 0:
+            raise InvalidParameterError(
+                f"fleet needs at least one vehicle, got {vehicles}"
+            )
+        if not (0.0 <= hotspot_bias <= 1.0):
+            raise InvalidParameterError(
+                f"hotspot bias must be in [0,1], got {hotspot_bias}"
+            )
+        if speed <= 0:
+            raise InvalidParameterError(f"speed must be positive, got {speed}")
+        if domain <= 0:
+            raise InvalidParameterError(f"domain must be positive, got {domain}")
+        self.vehicles = vehicles
+        self.hotspots = tuple(hotspots)
+        self.hotspot_bias = hotspot_bias if hotspots else 0.0
+        self.speed = speed
+        self.domain = float(domain)
+        self.weight_max = float(weight_max)
+        self.seed = seed
+        self.dt = dt
+
+    def _pick_waypoint(self, rng: random.Random) -> tuple[float, float]:
+        domain = self.domain
+        if self.hotspots and rng.random() < self.hotspot_bias:
+            shares = [h.share for h in self.hotspots]
+            hotspot = rng.choices(self.hotspots, weights=shares, k=1)[0]
+            x = rng.gauss(hotspot.cx * domain, hotspot.sigma * domain)
+            y = rng.gauss(hotspot.cy * domain, hotspot.sigma * domain)
+            return (min(max(x, 0.0), domain), min(max(y, 0.0), domain))
+        return (rng.uniform(0.0, domain), rng.uniform(0.0, domain))
+
+    def __iter__(self) -> Iterator[SpatialObject]:
+        rng = random.Random(self.seed)
+        domain = self.domain
+        step = self.speed * domain
+        fleet: list[_Vehicle] = []
+        for _ in range(self.vehicles):
+            x, y = self._pick_waypoint(rng)
+            tx, ty = self._pick_waypoint(rng)
+            fleet.append(
+                _Vehicle(
+                    x=x,
+                    y=y,
+                    target_x=tx,
+                    target_y=ty,
+                    speed=step * rng.uniform(0.5, 1.5),
+                )
+            )
+        wmax = self.weight_max
+        t = 0.0
+        while True:
+            for vehicle in fleet:
+                dx = vehicle.target_x - vehicle.x
+                dy = vehicle.target_y - vehicle.y
+                dist = (dx * dx + dy * dy) ** 0.5
+                if dist <= vehicle.speed:
+                    # arrived: report from the destination, pick a new trip
+                    vehicle.x = vehicle.target_x
+                    vehicle.y = vehicle.target_y
+                    vehicle.target_x, vehicle.target_y = self._pick_waypoint(rng)
+                else:
+                    scale = vehicle.speed / dist
+                    vehicle.x += dx * scale
+                    vehicle.y += dy * scale
+                weight = rng.uniform(0.0, wmax) if wmax > 0 else 1.0
+                yield SpatialObject(
+                    x=vehicle.x, y=vehicle.y, weight=weight, timestamp=t
+                )
+                t += self.dt

@@ -1,0 +1,7 @@
+"""Sliding-window models for spatial data streams (paper §2)."""
+
+from repro.window.base import SlidingWindow, WindowUpdate
+from repro.window.count import CountWindow
+from repro.window.time import TimeWindow
+
+__all__ = ["SlidingWindow", "WindowUpdate", "CountWindow", "TimeWindow"]

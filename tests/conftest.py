@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.objects import SpatialObject, WeightedRect
+
+
+def make_objects(
+    count: int,
+    seed: int = 0,
+    domain: float = 100.0,
+    weight_max: float = 10.0,
+    start_t: float = 0.0,
+) -> list[SpatialObject]:
+    """Deterministic batch of random objects with increasing timestamps."""
+    rng = random.Random(seed)
+    return [
+        SpatialObject(
+            x=rng.uniform(0.0, domain),
+            y=rng.uniform(0.0, domain),
+            weight=rng.uniform(0.0, weight_max) if weight_max else 1.0,
+            timestamp=start_t + i,
+        )
+        for i in range(count)
+    ]
+
+
+def make_rects(
+    count: int,
+    seed: int = 0,
+    domain: float = 100.0,
+    side: float = 20.0,
+    weight_max: float = 10.0,
+) -> list[WeightedRect]:
+    """Deterministic dual rectangles (side × side) for solver tests."""
+    return [
+        WeightedRect.from_object(o, side, side)
+        for o in make_objects(count, seed=seed, domain=domain, weight_max=weight_max)
+    ]
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

@@ -1,0 +1,108 @@
+"""Tests for AllMaxRS (all spaces tying the maximum)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_objects
+from repro.core.allmax import AllMaxRSMonitor, plane_sweep_all_max
+from repro.core.geometry import Rect
+from repro.core.naive import NaiveMonitor
+from repro.core.objects import SpatialObject, WeightedRect
+from repro.errors import InvalidParameterError
+from repro.window import CountWindow
+
+
+def wr(x1, y1, x2, y2, w=1.0) -> WeightedRect:
+    obj = SpatialObject(x=(x1 + x2) / 2, y=(y1 + y2) / 2, weight=w)
+    return WeightedRect(rect=Rect(x1, y1, x2, y2), weight=w, obj=obj)
+
+
+class TestPlaneSweepAllMax:
+    def test_empty(self):
+        assert plane_sweep_all_max([]) == []
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            plane_sweep_all_max([wr(0, 0, 1, 1)], tolerance=-1)
+        with pytest.raises(InvalidParameterError):
+            plane_sweep_all_max([wr(0, 0, 1, 1)], limit=0)
+
+    def test_unique_max_returns_one(self):
+        rects = [wr(0, 0, 2, 2, w=1.0), wr(1, 1, 3, 3, w=2.0), wr(9, 9, 10, 10, w=0.5)]
+        ties = plane_sweep_all_max(rects)
+        assert len(ties) == 1
+        assert ties[0].weight == 3.0
+
+    def test_two_tied_optima(self):
+        # two disjoint pairs, both summing to 2.0
+        rects = [
+            wr(0, 0, 2, 2), wr(1, 1, 3, 3),
+            wr(10, 10, 12, 12), wr(11, 11, 13, 13),
+        ]
+        ties = plane_sweep_all_max(rects)
+        assert len(ties) == 2
+        assert all(t.weight == pytest.approx(2.0) for t in ties)
+        # the tied regions are spatially distinct
+        assert not ties[0].rect.overlaps(ties[1].rect)
+
+    def test_all_weights_tie_the_best(self):
+        rects = [wr(i * 5, 0, i * 5 + 2, 2, w=3.0) for i in range(4)]
+        ties = plane_sweep_all_max(rects)
+        assert len(ties) == 4
+        assert {round(t.weight, 9) for t in ties} == {3.0}
+
+
+class TestAllMaxRSMonitor:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AllMaxRSMonitor(10, 10, CountWindow(5), tolerance=-0.1)
+
+    def test_empty(self):
+        m = AllMaxRSMonitor(10, 10, CountWindow(5))
+        assert m.update([]).is_empty
+
+    def test_reports_all_ties(self):
+        m = AllMaxRSMonitor(4, 4, CountWindow(10))
+        # two far-apart pairs with identical weights
+        result = m.update(
+            [
+                SpatialObject(x=10, y=10, weight=2.0),
+                SpatialObject(x=11, y=11, weight=2.0),
+                SpatialObject(x=90, y=90, weight=2.0),
+                SpatialObject(x=91, y=91, weight=2.0),
+            ]
+        )
+        assert len(result.regions) == 2
+        assert all(r.weight == pytest.approx(4.0) for r in result.regions)
+
+    def test_single_winner_when_unique(self):
+        m = AllMaxRSMonitor(10, 10, CountWindow(20))
+        result = m.update(
+            [
+                SpatialObject(x=10, y=10, weight=5.0),
+                SpatialObject(x=90, y=90, weight=1.0),
+            ]
+        )
+        assert len(result.regions) == 1
+        assert result.best_weight == 5.0
+
+    def test_best_matches_naive_over_stream(self):
+        allmax = AllMaxRSMonitor(10, 10, CountWindow(25))
+        naive = NaiveMonitor(10, 10, CountWindow(25))
+        for i in range(8):
+            batch = make_objects(6, seed=60 + i, domain=50.0)
+            a = allmax.update(batch)
+            b = naive.update(batch)
+            assert a.best_weight == pytest.approx(b.best_weight)
+            # every reported region ties the maximum
+            for region in a.regions:
+                assert region.weight == pytest.approx(b.best_weight)
+
+    def test_limit_caps_reported_ties(self):
+        m = AllMaxRSMonitor(4, 4, CountWindow(50), limit=3)
+        batch = [
+            SpatialObject(x=20 * i, y=20 * i, weight=1.0) for i in range(10)
+        ]
+        result = m.update(batch)
+        assert len(result.regions) <= 3

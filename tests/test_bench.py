@@ -1,0 +1,118 @@
+"""Tests for the benchmark harness (configs, runners, tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    ExperimentConfig,
+    build_monitor,
+    format_rows,
+    format_table,
+    run_ablation,
+    run_approx_sweep,
+    run_config,
+    run_sweep,
+    run_topk_sweep,
+    series_from_rows,
+)
+from repro.core.ag2 import AG2Monitor
+from repro.core.g2 import G2Monitor
+from repro.core.naive import NaiveMonitor
+from repro.core.topk import TopKAG2Monitor
+from repro.errors import InvalidParameterError
+
+TINY = ExperimentConfig(
+    window_size=150, batch_size=25, rect_side=2000.0,
+    domain=20_000.0, batches=2, seed=1,
+)
+
+
+class TestConfig:
+    def test_defaults_are_paper_scaled(self):
+        cfg = ExperimentConfig()
+        assert cfg.window_size == 10_000
+        assert cfg.rect_side == 1000.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig(window_size=0)
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig(batches=0)
+
+    def test_with_copies(self):
+        cfg = TINY.with_(window_size=99)
+        assert cfg.window_size == 99
+        assert TINY.window_size == 150
+
+
+class TestBuildMonitor:
+    def test_algorithm_types(self):
+        assert isinstance(build_monitor("naive", TINY), NaiveMonitor)
+        assert isinstance(build_monitor("g2", TINY), G2Monitor)
+        assert isinstance(build_monitor("ag2", TINY), AG2Monitor)
+
+    def test_topk_variant(self):
+        monitor = build_monitor("ag2", TINY.with_(k=5))
+        assert isinstance(monitor, TopKAG2Monitor)
+        assert monitor.k == 5
+
+    def test_epsilon_passthrough(self):
+        monitor = build_monitor("ag2", TINY.with_(epsilon=0.25))
+        assert monitor.epsilon == 0.25
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(InvalidParameterError):
+            build_monitor("quadtree", TINY)
+
+
+class TestRunners:
+    def test_run_config(self):
+        times = run_config(TINY, ("naive", "ag2"))
+        assert set(times) == {"naive", "ag2"}
+        assert all(v >= 0 for v in times.values())
+
+    def test_run_sweep_rows(self):
+        rows = run_sweep(
+            TINY, "window_size", (80, 160), algorithms=("ag2",)
+        )
+        assert [row["window_size"] for row in rows] == [80, 160]
+        assert all("ag2" in row for row in rows)
+
+    def test_run_approx_sweep(self):
+        rows = run_approx_sweep(TINY, (0.0, 0.5))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["mean_error"] <= row["epsilon"] + 1e-9
+            assert row["max_error"] <= row["epsilon"] + 1e-9
+
+    def test_run_topk_sweep(self):
+        rows = run_topk_sweep(TINY, (1, 3))
+        assert [row["k"] for row in rows] == [1, 3]
+        assert all(row["naive"] >= 0 and row["ag2"] >= 0 for row in rows)
+
+    def test_run_ablation(self):
+        rows = run_ablation(TINY, ("synthetic",), modes=("off", "always"))
+        assert [row["mode"] for row in rows] == ["off", "always"]
+        assert all("synthetic" in row for row in rows)
+
+
+class TestTables:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], [10, 0.001]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        # title + header + rule + 2 data rows
+        assert len(lines) == 5
+
+    def test_format_rows(self):
+        text = format_rows([{"x": 1, "y": 2}, {"x": 3, "y": 4}])
+        assert "x" in text and "3" in text
+
+    def test_format_rows_empty(self):
+        assert format_rows([], title="empty") == "empty"
+
+    def test_series_from_rows(self):
+        rows = [{"n": 1, "ms": 5.0}, {"n": 2, "ms": 7.0}]
+        assert series_from_rows(rows, "n", "ms") == [(1, 5.0), (2, 7.0)]

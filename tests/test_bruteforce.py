@@ -1,0 +1,85 @@
+"""Sanity tests for the brute-force oracles themselves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bruteforce import (
+    brute_force_anchored_best,
+    brute_force_max,
+    brute_force_topk_anchored,
+    cover_weight,
+)
+from repro.core.geometry import Rect
+from repro.core.objects import SpatialObject, WeightedRect
+from repro.errors import InvalidParameterError
+
+
+def wr(x1, y1, x2, y2, w=1.0) -> WeightedRect:
+    obj = SpatialObject(x=(x1 + x2) / 2, y=(y1 + y2) / 2, weight=w)
+    return WeightedRect(rect=Rect(x1, y1, x2, y2), weight=w, obj=obj)
+
+
+class TestCoverWeight:
+    def test_counts_strict_interior(self):
+        rects = [wr(0, 0, 2, 2, w=1.0), wr(1, 1, 3, 3, w=2.0)]
+        assert cover_weight(rects, 1.5, 1.5) == 3.0
+        assert cover_weight(rects, 0.5, 0.5) == 1.0
+        assert cover_weight(rects, 2.0, 1.5) == 2.0  # boundary of first
+        assert cover_weight(rects, 5, 5) == 0.0
+
+
+class TestBruteForceMax:
+    def test_empty(self):
+        assert brute_force_max([]) is None
+
+    def test_degenerate_only(self):
+        assert brute_force_max([wr(0, 0, 0, 3)]) is None
+
+    def test_single(self):
+        weight, (x, y) = brute_force_max([wr(0, 0, 2, 2, w=4.0)])
+        assert weight == 4.0
+        assert Rect(0, 0, 2, 2).contains_point(x, y)
+
+    def test_pair_overlap(self):
+        weight, point = brute_force_max([wr(0, 0, 4, 4), wr(2, 2, 6, 6)])
+        assert weight == 2.0
+        assert Rect(2, 2, 4, 4).contains_point(*point)
+
+    def test_point_achieves_weight(self):
+        rects = [wr(0, 0, 4, 4, w=1.5), wr(1, 2, 5, 6, w=2.5), wr(3, 3, 7, 7, w=1)]
+        weight, (x, y) = brute_force_max(rects)
+        assert cover_weight(rects, x, y) == pytest.approx(weight)
+
+
+class TestAnchoredOracles:
+    def test_anchored_best_no_neighbors(self):
+        assert brute_force_anchored_best(wr(0, 0, 2, 2, w=3.0), []) == 3.0
+
+    def test_anchored_best_clips(self):
+        anchor = wr(0, 0, 4, 4, w=1.0)
+        neighbors = [wr(3, 3, 10, 10, w=5.0)]
+        assert brute_force_anchored_best(anchor, neighbors) == 6.0
+
+    def test_topk_anchored_order_and_ids(self):
+        rects = [
+            wr(0, 0, 4, 4, w=1.0),    # oldest: anchors the pair below
+            wr(2, 2, 6, 6, w=2.0),
+            wr(20, 0, 24, 4, w=5.0),  # lone heavy rect
+        ]
+        top = brute_force_topk_anchored(rects, 3)
+        weights = [w for w, _oid in top]
+        assert weights == [5.0, 3.0, 2.0]
+        assert top[0][1] == rects[2].oid
+        assert top[1][1] == rects[0].oid
+
+    def test_topk_anchored_k_validation(self):
+        with pytest.raises(InvalidParameterError):
+            brute_force_topk_anchored([], 0)
+
+    def test_topk_respects_age_direction(self):
+        # the NEWER rect of an overlapping pair anchors only itself
+        old = wr(0, 0, 4, 4, w=1.0)
+        new = wr(2, 2, 6, 6, w=2.0)
+        top = brute_force_topk_anchored([old, new], 2)
+        assert top == [(3.0, old.oid), (2.0, new.oid)]

@@ -1,0 +1,81 @@
+"""Cross-window-model equivalence and persistence property tests.
+
+The paper claims its algorithms handle count- and time-based windows
+interchangeably (§2).  When timestamps tick uniformly, a count window
+of ``n`` and a time window of ``n`` time units hold the same objects —
+so every monitor must produce identical answers under both models.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ag2 import AG2Monitor
+from repro.core.naive import NaiveMonitor
+from repro.core.objects import SpatialObject
+from repro.persist import restore, snapshot
+from repro.window import CountWindow, TimeWindow
+
+coord = st.integers(min_value=0, max_value=40).map(float)
+
+
+def _uniform_tick_stream(points: list[tuple[float, float, float]]):
+    """Objects timestamped 1, 2, 3, ... — one per time unit."""
+    return [
+        SpatialObject(x=x, y=y, weight=w, timestamp=float(i + 1))
+        for i, (x, y, w) in enumerate(points)
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(coord, coord, st.sampled_from([0.5, 1.0, 2.0])),
+        min_size=1,
+        max_size=40,
+    ),
+    n=st.integers(min_value=1, max_value=15),
+)
+def test_count_and_time_windows_agree_on_uniform_ticks(points, n):
+    """CountWindow(n) == TimeWindow(n) when one object arrives per
+    time unit: the monitors must answer identically at every batch."""
+    objs = _uniform_tick_stream(points)
+    by_count = AG2Monitor(8, 8, CountWindow(n))
+    by_time = AG2Monitor(8, 8, TimeWindow(float(n)))
+    for pos in range(0, len(objs), 3):
+        batch = objs[pos : pos + 3]
+        a = by_count.update(batch)
+        b = by_time.update(batch)
+        assert set(o.oid for o in by_count.window.contents) == set(
+            o.oid for o in by_time.window.contents
+        )
+        assert a.best_weight == pytest.approx(b.best_weight)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(coord, coord, st.sampled_from([0.5, 1.0, 3.0])),
+        min_size=0,
+        max_size=30,
+    ),
+    capacity=st.integers(min_value=1, max_value=12),
+    split=st.integers(min_value=0, max_value=30),
+)
+def test_snapshot_restore_is_transparent(points, capacity, split):
+    """Property: snapshot/restore at an arbitrary stream position never
+    changes any subsequent answer."""
+    objs = _uniform_tick_stream(points)
+    split = min(split, len(objs))
+    straight = NaiveMonitor(8, 8, CountWindow(capacity))
+    for pos in range(0, split, 4):
+        straight.update(objs[pos : pos + 4])
+    resumed = restore(snapshot(straight))
+    for pos in range(split, len(objs), 4):
+        batch = objs[pos : pos + 4]
+        a = straight.update(batch)
+        b = resumed.update(batch)
+        assert a.best_weight == pytest.approx(b.best_weight)
+        assert a.window_size == b.window_size

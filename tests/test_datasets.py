@@ -1,0 +1,86 @@
+"""Tests for the dataset registry and workload profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    available_datasets,
+    make_stream,
+    register_dataset,
+)
+from repro.datasets.registry import _REGISTRY
+from repro.errors import InvalidParameterError
+from repro.streams import UniformStream
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        names = available_datasets()
+        for name in DATASET_NAMES:
+            assert name in names
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_stream("osm")
+
+    def test_register_custom(self):
+        def factory(domain, seed=0, weight_max=1000.0):
+            return UniformStream(domain=domain, seed=seed, weight_max=weight_max)
+
+        register_dataset("custom_uniform", factory)
+        try:
+            stream = make_stream("custom_uniform", domain=10.0, seed=1)
+            assert all(0 <= o.x <= 10 for o in stream.take(20))
+        finally:
+            _REGISTRY.pop("custom_uniform", None)
+
+    def test_register_empty_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            register_dataset("", lambda domain, **kw: None)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_streams_stay_in_domain(self, name):
+        stream = make_stream(name, domain=1000.0, seed=2)
+        for obj in stream.take(300):
+            assert 0 <= obj.x <= 1000
+            assert 0 <= obj.y <= 1000
+            assert 0 <= obj.weight <= 1000
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_streams_reproducible(self, name):
+        a = make_stream(name, domain=500.0, seed=7).take(50)
+        b = make_stream(name, domain=500.0, seed=7).take(50)
+        assert [(o.x, o.y, o.weight) for o in a] == [
+            (o.x, o.y, o.weight) for o in b
+        ]
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_timestamps_non_decreasing(self, name):
+        ts = [o.timestamp for o in make_stream(name, seed=3).take(100)]
+        assert all(a <= b for a, b in zip(ts, ts[1:]))
+
+    def test_skew_ordering_matches_paper(self):
+        """The stand-ins preserve the paper's difficulty ordering:
+        geolife is the most concentrated, synthetic the least.
+
+        Concentration proxy: objects falling in the most popular cell
+        of a coarse histogram."""
+
+        def peak_share(name: str) -> float:
+            objs = make_stream(name, domain=1000.0, seed=11).take(2000)
+            cells: dict[tuple[int, int], int] = {}
+            for o in objs:
+                key = (int(o.x // 50), int(o.y // 50))
+                cells[key] = cells.get(key, 0) + 1
+            return max(cells.values()) / len(objs)
+
+        synthetic = peak_share("synthetic")
+        tdrive = peak_share("tdrive_like")
+        geolife = peak_share("geolife_like")
+        roma = peak_share("roma_like")
+        assert synthetic < tdrive
+        assert synthetic < roma < geolife

@@ -1,0 +1,129 @@
+"""Tests for the continuous-query engine and timing statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ag2 import AG2Monitor
+from repro.core.naive import NaiveMonitor
+from repro.engine import StreamEngine, TimingStats
+from repro.errors import EmptyWindowError, InvalidParameterError
+from repro.streams import UniformStream
+from repro.window import CountWindow
+
+
+def engine(batch_size=10, capacity=50, monitors=None) -> StreamEngine:
+    monitors = monitors or {
+        "ag2": AG2Monitor(20, 20, CountWindow(capacity)),
+    }
+    return StreamEngine(
+        monitors, UniformStream(domain=200.0, seed=1), batch_size=batch_size
+    )
+
+
+class TestTimingStats:
+    def test_empty_raises(self):
+        stats = TimingStats()
+        with pytest.raises(EmptyWindowError):
+            _ = stats.mean
+
+    def test_basic_statistics(self):
+        stats = TimingStats()
+        for s in (0.010, 0.020, 0.030, 0.040):
+            stats.record(s)
+        assert stats.mean == pytest.approx(0.025)
+        assert stats.mean_ms == pytest.approx(25.0)
+        assert stats.median == pytest.approx(0.025)
+        assert stats.minimum == 0.010
+        assert stats.maximum == 0.040
+        assert stats.total == pytest.approx(0.100)
+        assert len(stats) == 4
+
+    def test_median_odd(self):
+        stats = TimingStats(samples=[0.3, 0.1, 0.2])
+        assert stats.median == pytest.approx(0.2)
+
+    def test_percentiles(self):
+        stats = TimingStats(samples=[float(i) for i in range(1, 101)])
+        assert stats.percentile(0) == 1.0
+        assert stats.percentile(100) == 100.0
+        assert stats.percentile(50) == pytest.approx(50.5)
+
+    def test_percentile_validation(self):
+        stats = TimingStats(samples=[1.0])
+        with pytest.raises(ValueError):
+            stats.percentile(101)
+
+    def test_stdev(self):
+        stats = TimingStats(samples=[1.0, 3.0])
+        assert stats.stdev == pytest.approx(2.0 ** 0.5)
+        assert TimingStats(samples=[1.0]).stdev == 0.0
+
+    def test_summary_keys(self):
+        stats = TimingStats(samples=[0.001, 0.002])
+        summary = stats.summary()
+        assert set(summary) == {
+            "updates", "mean_ms", "median_ms", "p95_ms",
+            "min_ms", "max_ms", "total_ms",
+        }
+
+
+class TestStreamEngine:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            StreamEngine({}, UniformStream(seed=1), 10)
+        with pytest.raises(InvalidParameterError):
+            engine(batch_size=0)
+
+    def test_prime_fills_window_untimed(self):
+        e = engine(capacity=30)
+        e.prime(30)
+        monitor = e.monitors["ag2"]
+        assert len(monitor.window) == 30
+
+    def test_run_produces_timings(self):
+        e = engine()
+        e.prime(20)
+        report = e.run(4)
+        assert report.batches == 4
+        assert len(report.timings["ag2"]) == 4
+        assert report.mean_ms("ag2") > 0
+        assert not report.final_results["ag2"].is_empty
+
+    def test_monitors_see_identical_batches(self):
+        mons = {
+            "a": AG2Monitor(20, 20, CountWindow(40)),
+            "b": NaiveMonitor(20, 20, CountWindow(40)),
+        }
+        e = engine(monitors=mons)
+        e.prime(40)
+        report = e.run(5)
+        wa = report.final_results["a"].best_weight
+        wb = report.final_results["b"].best_weight
+        assert wa == pytest.approx(wb)
+
+    def test_track_weights(self):
+        e = engine()
+        report = e.run(3, track_weights=True)
+        assert len(report.weight_history["ag2"]) == 3
+
+    def test_run_stops_on_exhausted_source(self):
+        mons = {"m": NaiveMonitor(5, 5, CountWindow(10))}
+        finite = iter(UniformStream(domain=50.0, seed=2).take(15))
+        e = StreamEngine(mons, finite, batch_size=10)
+        report = e.run(5)
+        assert report.batches == 2  # 10 + 5, then exhausted
+
+    def test_report_table_renders(self):
+        e = engine()
+        report = e.run(2)
+        text = report.table()
+        assert "ag2" in text and "mean ms" in text
+
+    def test_run_validation(self):
+        with pytest.raises(InvalidParameterError):
+            engine().run(0)
+
+    def test_prime_validation(self):
+        with pytest.raises(InvalidParameterError):
+            engine().prime(-1)

@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    EmptyWindowError,
+    InvalidGeometryError,
+    InvalidParameterError,
+    InvariantViolationError,
+    ReproError,
+    WindowOrderError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        InvalidGeometryError,
+        InvalidParameterError,
+        WindowOrderError,
+        EmptyWindowError,
+        InvariantViolationError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_single_except_clause_catches_library_failures():
+    from repro.core.geometry import Rect
+
+    with pytest.raises(ReproError):
+        Rect(5, 0, 0, 0)
+
+
+def test_library_never_wraps_type_errors():
+    """Genuine bugs (wrong types) must propagate as-is, not be masked."""
+    from repro.core.segment_tree import MaxCoverSegmentTree
+
+    tree = MaxCoverSegmentTree(4)
+    with pytest.raises(TypeError):
+        tree.add("a", 2, 1.0)  # type: ignore[arg-type]

@@ -1,0 +1,36 @@
+"""Smoke test: the quickstart example runs and produces sane output.
+
+The heavier examples (urban sensing, location game, approximation
+trade-off, dashboard) take tens of seconds and are exercised manually /
+in CI nightly; the quickstart is fast enough to gate every test run so
+the README's first command never rots.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_quickstart_runs_and_reports_progress():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "best weight" in proc.stdout
+    assert "local plane sweeps" in proc.stdout
+    # the monitoring loop actually advanced
+    assert proc.stdout.count("\n") > 10
+
+
+def test_all_examples_compile():
+    """Every example at least parses — catches API drift immediately."""
+    for script in sorted(EXAMPLES.glob("*.py")):
+        source = script.read_text()
+        compile(source, str(script), "exec")

@@ -1,0 +1,99 @@
+"""Failure-injection tests: bad input must not corrupt monitor state.
+
+A long-running monitor will eventually be fed garbage — a NaN
+coordinate from a broken GPS, a negative weight from an overflow, an
+out-of-order timestamp from a delayed packet.  The contract: invalid
+input raises a :class:`ReproError` at the boundary (object
+construction or window push) and the monitor keeps answering exactly
+as if the bad batch had never been offered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_objects
+from repro.core.ag2 import AG2Monitor
+from repro.core.naive import NaiveMonitor
+from repro.core.objects import SpatialObject
+from repro.errors import InvalidParameterError, ReproError, WindowOrderError
+from repro.window import CountWindow, TimeWindow
+
+
+class TestInputValidationBoundary:
+    def test_nan_coordinates_rejected_at_construction(self):
+        with pytest.raises(InvalidParameterError):
+            SpatialObject(x=float("nan"), y=0.0)
+
+    def test_negative_weight_rejected_at_construction(self):
+        with pytest.raises(InvalidParameterError):
+            SpatialObject(x=0.0, y=0.0, weight=-1.0)
+
+    def test_infinite_coordinate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SpatialObject(x=0.0, y=float("-inf"))
+
+
+class TestMonitorSurvivesRejectedBatches:
+    def test_out_of_order_batch_leaves_monitor_consistent(self):
+        """A rejected push must not half-apply: the window rejects the
+        batch before the monitor sees any delta."""
+        ag2 = AG2Monitor(10, 10, TimeWindow(100.0))
+        naive = NaiveMonitor(10, 10, TimeWindow(100.0))
+        good = [SpatialObject(x=5, y=5, weight=2, timestamp=10.0)]
+        for m in (ag2, naive):
+            m.update(good)
+        bad = [SpatialObject(x=6, y=6, weight=9, timestamp=1.0)]  # stale ts
+        for m in (ag2, naive):
+            with pytest.raises(WindowOrderError):
+                m.update(bad)
+        # both monitors still answer, and still agree
+        late = [SpatialObject(x=5.5, y=5.5, weight=3, timestamp=20.0)]
+        a = ag2.update(late)
+        b = naive.update(late)
+        assert a.best_weight == pytest.approx(b.best_weight)
+        assert a.best_weight == pytest.approx(5.0)
+        ag2.check_invariants()
+
+    def test_monitor_usable_after_any_repro_error(self):
+        """Catch-all recovery pattern users will write: except
+        ReproError, drop the batch, carry on."""
+        monitor = AG2Monitor(10, 10, CountWindow(20))
+        batches = [
+            make_objects(5, seed=1, domain=50.0),
+            None,  # simulated producer failure
+            make_objects(5, seed=2, domain=50.0),
+        ]
+        reference = NaiveMonitor(10, 10, CountWindow(20))
+        for batch in batches:
+            if batch is None:
+                # the boundary rejects construction of a bad object
+                with pytest.raises(ReproError):
+                    monitor.update([SpatialObject(x=0, y=0, weight=-5)])
+                continue
+            a = monitor.update(batch)
+            b = reference.update(batch)
+            assert a.best_weight == pytest.approx(b.best_weight)
+
+    def test_empty_batches_forever_are_harmless(self):
+        monitor = AG2Monitor(10, 10, CountWindow(10))
+        monitor.update(make_objects(5, seed=3, domain=40.0))
+        weight = monitor.result.best_weight
+        for _ in range(50):
+            result = monitor.update([])
+            assert result.best_weight == pytest.approx(weight)
+        monitor.check_invariants()
+
+
+class TestWindowMisuse:
+    def test_double_apply_of_same_delta_is_detectable_discipline(self):
+        """apply() consumes window deltas exactly once; the docs say so
+        and the seq accounting makes a duplicate arrival produce a
+        DIFFERENT answer than the window holds — this test pins the
+        single-apply discipline the API requires."""
+        monitor = AG2Monitor(10, 10, CountWindow(10))
+        delta = monitor.window.push(make_objects(3, seed=4, domain=40.0))
+        monitor.apply(delta)
+        size_once = monitor.result.window_size
+        assert size_once == 3
+        assert len(monitor.window) == 3

@@ -1,0 +1,110 @@
+"""Unit tests for the G2 index monitor (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_objects
+from repro.core.g2 import G2Monitor
+from repro.core.naive import NaiveMonitor
+from repro.core.objects import SpatialObject
+from repro.window import CountWindow
+
+
+def mk(cell_size=None, capacity=50, side=10.0) -> G2Monitor:
+    return G2Monitor(side, side, CountWindow(capacity), cell_size=cell_size)
+
+
+class TestG2Basics:
+    def test_empty(self):
+        m = mk()
+        assert m.update([]).is_empty
+        assert m.cell_count == 0
+
+    def test_single_object(self):
+        m = mk()
+        result = m.update([SpatialObject(x=5, y=5, weight=3.0)])
+        assert result.best_weight == 3.0
+        assert result.best.anchor_oid is not None
+
+    def test_anchor_is_oldest_of_pair(self):
+        m = mk()
+        a = SpatialObject(x=5, y=5, weight=1.0)
+        b = SpatialObject(x=7, y=7, weight=1.0)
+        m.update([a])
+        result = m.update([b])
+        assert result.best_weight == 2.0
+        assert result.best.anchor_oid == a.oid
+
+    def test_incremental_matches_batch(self):
+        """Feeding objects one at a time equals feeding them at once."""
+        objs = make_objects(30, seed=5, domain=60.0)
+        one = mk(capacity=100)
+        for o in objs:
+            one.update([o])
+        whole = mk(capacity=100)
+        whole.update(objs)
+        assert one.result.best_weight == pytest.approx(whole.result.best_weight)
+
+    def test_matches_naive_over_stream(self):
+        g2 = mk(capacity=25)
+        naive = NaiveMonitor(10, 10, CountWindow(25))
+        for i in range(12):
+            batch = make_objects(5, seed=100 + i, domain=80.0)
+            a = g2.update(batch)
+            b = naive.update(batch)
+            assert a.best_weight == pytest.approx(b.best_weight)
+
+    def test_expiration_releases_cells(self):
+        m = mk(capacity=4)
+        m.update(make_objects(4, seed=1, domain=400.0))
+        m.update(make_objects(4, seed=2, domain=400.0))
+        m.update([])
+        # only the alive objects' cells remain materialised
+        assert m.vertex_count >= 4  # copies across cells
+        assert len(m.window) == 4
+
+    def test_expired_best_recovers(self):
+        """When the best space's anchor expires the monitor must find
+        the next best one."""
+        m = mk(capacity=2)
+        heavy = [SpatialObject(x=5, y=5, weight=9), SpatialObject(x=6, y=6, weight=9)]
+        m.update(heavy)
+        assert m.result.best_weight == 18.0
+        light = [SpatialObject(x=80, y=80, weight=1), SpatialObject(x=81, y=81, weight=1)]
+        result = m.update(light)
+        assert result.best_weight == 2.0
+
+    def test_local_sweeps_only_on_dirty_vertices(self):
+        m = mk(capacity=50)
+        # two isolated objects: no edges, no sweeps
+        m.update([SpatialObject(x=5, y=5)])
+        m.update([SpatialObject(x=500, y=500)])
+        assert m.stats.local_sweeps == 0
+        # a third overlapping the first: exactly the touched vertex re-sweeps
+        m.update([SpatialObject(x=7, y=7)])
+        assert m.stats.local_sweeps >= 1
+
+    def test_duplicate_locations(self):
+        m = mk()
+        objs = [SpatialObject(x=5, y=5, weight=2.0) for _ in range(4)]
+        result = m.update(objs)
+        assert result.best_weight == 8.0
+
+    def test_cell_size_respected(self):
+        m = mk(cell_size=100.0, capacity=10)
+        # all dual rects (side 10) stay inside cell (0, 0)'s [0,100]²
+        m.update([SpatialObject(x=20 + i * 6, y=50, weight=1) for i in range(10)])
+        assert m.cell_count == 1
+
+    def test_vertex_copies_across_cells(self):
+        m = mk(cell_size=10.0, capacity=10)
+        # a rect centred on a grid corner spans 4 cells
+        m.update([SpatialObject(x=10, y=10)])
+        assert m.cell_count == 4
+        assert m.vertex_count == 4
+
+    def test_window_size_reported(self):
+        m = mk(capacity=7)
+        result = m.update(make_objects(10))
+        assert result.window_size == 7

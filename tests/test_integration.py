@@ -1,0 +1,129 @@
+"""End-to-end integration tests across the whole stack.
+
+Long mixed streams from the real workload generators flow through all
+monitors simultaneously; exact answers must agree at every batch and
+the guarantees of the approximate and top-k variants must hold — with
+expiry, skew, multi-cell rectangles and batch-size churn all in play.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ag2 import AG2Monitor
+from repro.core.bruteforce import brute_force_topk_anchored
+from repro.core.g2 import G2Monitor
+from repro.core.naive import NaiveMonitor
+from repro.core.objects import SpatialObject, to_weighted_rects
+from repro.core.topk import TopKAG2Monitor
+from repro.datasets import make_stream
+from repro.streams import batches
+from repro.window import CountWindow, TimeWindow
+
+DOMAIN = 2_000.0
+SIDE = 120.0
+
+
+def run_agreement(dataset: str, capacity: int, batch: int, rounds: int):
+    window = lambda: CountWindow(capacity)  # noqa: E731
+    monitors = {
+        "naive": NaiveMonitor(SIDE, SIDE, window()),
+        "g2": G2Monitor(SIDE, SIDE, window()),
+        "ag2": AG2Monitor(SIDE, SIDE, window()),
+        "approx": AG2Monitor(SIDE, SIDE, window(), epsilon=0.3),
+    }
+    stream = make_stream(dataset, domain=DOMAIN, seed=13)
+    for tick, group in enumerate(batches(stream, batch)):
+        results = {name: m.update(group) for name, m in monitors.items()}
+        exact = results["naive"].best_weight
+        assert results["g2"].best_weight == pytest.approx(exact), (dataset, tick)
+        assert results["ag2"].best_weight == pytest.approx(exact), (dataset, tick)
+        assert results["approx"].best_weight >= 0.7 * exact - 1e-9
+        assert results["approx"].best_weight <= exact + 1e-9
+        monitors["ag2"].check_invariants()
+        if tick >= rounds:
+            break
+
+
+@pytest.mark.parametrize(
+    "dataset", ["synthetic", "tdrive_like", "geolife_like", "roma_like"]
+)
+def test_all_monitors_agree_on_every_workload(dataset):
+    run_agreement(dataset, capacity=120, batch=20, rounds=12)
+
+
+def test_agreement_with_heavy_churn():
+    """Batch size ≥ half the window: constant mass expiry."""
+    run_agreement("roma_like", capacity=60, batch=30, rounds=10)
+
+
+def test_agreement_with_tiny_window():
+    run_agreement("synthetic", capacity=5, batch=3, rounds=15)
+
+
+def test_topk_tracks_anchored_oracle_on_skewed_stream():
+    k = 4
+    monitor = TopKAG2Monitor(SIDE, SIDE, CountWindow(80), k=k)
+    stream = make_stream("geolife_like", domain=DOMAIN, seed=21)
+    for tick, group in enumerate(batches(stream, 16)):
+        result = monitor.update(group)
+        alive = to_weighted_rects(monitor.window.contents, SIDE, SIDE)
+        expected = [w for w, _ in brute_force_topk_anchored(alive, k)]
+        assert [r.weight for r in result.regions] == pytest.approx(expected)
+        if tick >= 8:
+            break
+
+
+def test_time_window_monitors_agree():
+    """Same stream through time-based windows on all monitors."""
+    duration = 40.0
+    monitors = {
+        "naive": NaiveMonitor(SIDE, SIDE, TimeWindow(duration)),
+        "ag2": AG2Monitor(SIDE, SIDE, TimeWindow(duration)),
+    }
+    stream = make_stream("tdrive_like", domain=DOMAIN, seed=5)
+    for tick, group in enumerate(batches(stream, 25)):
+        results = {name: m.update(group) for name, m in monitors.items()}
+        assert results["ag2"].best_weight == pytest.approx(
+            results["naive"].best_weight
+        )
+        if tick >= 10:
+            break
+    # both windows expired the same objects
+    assert len(monitors["naive"].window) == len(monitors["ag2"].window)
+
+
+def test_mixed_update_and_pure_expiry_phases():
+    """Arrivals, then silence (pure time passage), then arrivals again."""
+    naive = NaiveMonitor(SIDE, SIDE, TimeWindow(10.0))
+    ag2 = AG2Monitor(SIDE, SIDE, TimeWindow(10.0))
+    group = [
+        SpatialObject(x=100 + i, y=100 + i, weight=2.0, timestamp=float(i))
+        for i in range(8)
+    ]
+    for m in (naive, ag2):
+        m.update(group)
+    assert ag2.result.best_weight == pytest.approx(naive.result.best_weight)
+    # silence: advance both windows past some expirations
+    for m in (naive, ag2):
+        m.apply(m.window.advance_to(14.0))
+    assert ag2.result.best_weight == pytest.approx(naive.result.best_weight)
+    late = [SpatialObject(x=500, y=500, weight=1.0, timestamp=15.0)]
+    for m in (naive, ag2):
+        m.update(late)
+    assert ag2.result.best_weight == pytest.approx(naive.result.best_weight)
+
+
+def test_stats_reflect_algorithmic_hierarchy():
+    """On a skewed stream, aG2 must do strictly fewer local sweeps than
+    G2 while both stay exact — the paper's efficiency claim."""
+    window = lambda: CountWindow(100)  # noqa: E731
+    g2 = G2Monitor(SIDE, SIDE, window())
+    ag2 = AG2Monitor(SIDE, SIDE, window())
+    stream = make_stream("roma_like", domain=DOMAIN, seed=2)
+    for tick, group in enumerate(batches(stream, 20)):
+        g2.update(group)
+        ag2.update(group)
+        if tick >= 10:
+            break
+    assert ag2.stats.local_sweeps < g2.stats.local_sweeps

@@ -1,0 +1,91 @@
+"""Unit tests for the naive recompute-from-scratch monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_objects
+from repro.core.naive import NaiveMonitor
+from repro.core.objects import SpatialObject
+from repro.errors import InvalidParameterError
+from repro.window import CountWindow, TimeWindow
+
+
+class TestNaiveMonitor:
+    def test_k_validation(self):
+        with pytest.raises(InvalidParameterError):
+            NaiveMonitor(10, 10, CountWindow(5), k=0)
+
+    def test_rect_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            NaiveMonitor(0, 10, CountWindow(5))
+
+    def test_empty_window_result(self):
+        m = NaiveMonitor(10, 10, CountWindow(5))
+        result = m.update([])
+        assert result.is_empty
+        assert result.best is None
+
+    def test_single_object(self):
+        m = NaiveMonitor(10, 10, CountWindow(5))
+        result = m.update([SpatialObject(x=50, y=50, weight=2.5)])
+        assert result.best_weight == 2.5
+        # the region is the object's dual rectangle
+        assert result.best.rect.center == (50, 50)
+
+    def test_two_close_objects_stack(self):
+        m = NaiveMonitor(10, 10, CountWindow(5))
+        result = m.update(
+            [SpatialObject(x=50, y=50), SpatialObject(x=52, y=52)]
+        )
+        assert result.best_weight == 2.0
+
+    def test_expiry_shrinks_answer(self):
+        m = NaiveMonitor(10, 10, CountWindow(2))
+        m.update([SpatialObject(x=0, y=0, weight=5), SpatialObject(x=1, y=1, weight=5)])
+        assert m.result.best_weight == 10.0
+        # two distant arrivals evict the heavy pair
+        result = m.update(
+            [SpatialObject(x=500, y=500), SpatialObject(x=900, y=900)]
+        )
+        assert result.best_weight == 1.0
+
+    def test_full_sweep_every_update(self):
+        m = NaiveMonitor(10, 10, CountWindow(100))
+        for i in range(4):
+            m.update([SpatialObject(x=i, y=i)])
+        assert m.stats.full_sweeps == 4
+
+    def test_ingest_skips_sweep(self):
+        m = NaiveMonitor(10, 10, CountWindow(100))
+        m.ingest(make_objects(10))
+        assert m.stats.full_sweeps == 0
+        result = m.update([])
+        assert m.stats.full_sweeps == 1
+        assert result.window_size == 10
+
+    def test_topk_mode_returns_ranked(self):
+        m = NaiveMonitor(10, 10, CountWindow(50), k=3)
+        objs = [
+            SpatialObject(x=0, y=0, weight=1),
+            SpatialObject(x=2, y=2, weight=1),
+            SpatialObject(x=500, y=500, weight=5),
+        ]
+        result = m.update(objs)
+        weights = [r.weight for r in result.regions]
+        assert weights[0] == 5.0
+        assert weights == sorted(weights, reverse=True)
+        assert len(result.regions) <= 3
+
+    def test_works_with_time_window(self):
+        m = NaiveMonitor(10, 10, TimeWindow(5.0))
+        m.update([SpatialObject(x=0, y=0, weight=9, timestamp=0.0)])
+        result = m.update([SpatialObject(x=100, y=100, weight=1, timestamp=10.0)])
+        # the heavy object expired
+        assert result.best_weight == 1.0
+
+    def test_result_metadata(self):
+        m = NaiveMonitor(10, 10, CountWindow(5))
+        result = m.update(make_objects(3))
+        assert result.window_size == 3
+        assert result.tick == 1

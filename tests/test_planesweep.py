@@ -1,0 +1,176 @@
+"""Unit tests for the plane-sweep solvers on hand-constructed inputs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bruteforce import cover_weight
+from repro.core.geometry import Rect
+from repro.core.objects import SpatialObject, WeightedRect
+from repro.core.planesweep import (
+    local_plane_sweep,
+    plane_sweep_max,
+    plane_sweep_topk,
+    sweep_items_max,
+)
+from repro.errors import InvalidParameterError
+
+
+def wr(x1, y1, x2, y2, w=1.0, oid=None) -> WeightedRect:
+    cx, cy = (x1 + x2) / 2, (y1 + y2) / 2
+    kwargs = {} if oid is None else {"oid": oid}
+    obj = SpatialObject(x=cx, y=cy, weight=w, **kwargs)
+    return WeightedRect(rect=Rect(x1, y1, x2, y2), weight=w, obj=obj)
+
+
+class TestPlaneSweepMax:
+    def test_empty_input(self):
+        assert plane_sweep_max([]) is None
+
+    def test_all_degenerate(self):
+        assert plane_sweep_max([wr(0, 0, 0, 5), wr(1, 1, 4, 1)]) is None
+
+    def test_single_rect(self):
+        region = plane_sweep_max([wr(0, 0, 4, 2, w=3.0)])
+        assert region is not None
+        assert region.weight == 3.0
+        assert region.rect == Rect(0, 0, 4, 2)
+
+    def test_two_overlapping(self):
+        rects = [wr(0, 0, 4, 4, w=1.0), wr(2, 2, 6, 6, w=2.0)]
+        region = plane_sweep_max(rects)
+        assert region.weight == 3.0
+        # the reported cell lies inside the true intersection [2,4]²
+        assert Rect(2, 2, 4, 4).contains_rect(region.rect)
+
+    def test_two_disjoint_picks_heavier(self):
+        rects = [wr(0, 0, 1, 1, w=1.0), wr(5, 5, 6, 6, w=4.0)]
+        region = plane_sweep_max(rects)
+        assert region.weight == 4.0
+        assert Rect(5, 5, 6, 6).contains_rect(region.rect)
+
+    def test_edge_touching_do_not_stack(self):
+        rects = [wr(0, 0, 2, 2), wr(2, 0, 4, 2)]
+        assert plane_sweep_max(rects).weight == 1.0
+
+    def test_three_way_overlap(self):
+        rects = [
+            wr(0, 0, 10, 10, w=1.0),
+            wr(5, 5, 15, 15, w=1.0),
+            wr(8, 0, 18, 10, w=1.0),
+        ]
+        region = plane_sweep_max(rects)
+        assert region.weight == 3.0
+        # triple intersection is [8,10] x [5,10]
+        assert Rect(8, 5, 10, 10).contains_rect(region.rect)
+
+    def test_chain_overlap_max_is_pairwise(self):
+        # A∩B and B∩C but no triple: max weight is 2
+        rects = [wr(0, 0, 4, 2), wr(3, 0, 7, 2), wr(6, 0, 10, 2)]
+        assert plane_sweep_max(rects).weight == 2.0
+
+    def test_weights_used_not_counts(self):
+        # one heavy singleton beats a light pair
+        rects = [wr(0, 0, 2, 2, w=0.4), wr(1, 1, 3, 3, w=0.4), wr(9, 9, 10, 10, w=1.0)]
+        assert plane_sweep_max(rects).weight == 1.0
+
+    def test_reported_weight_matches_cover_at_center(self):
+        rects = [
+            wr(0, 0, 6, 6, w=2.0),
+            wr(3, 1, 9, 7, w=1.5),
+            wr(2, 4, 8, 10, w=0.5),
+        ]
+        region = plane_sweep_max(rects)
+        x, y = region.best_point
+        assert cover_weight(rects, x, y) == pytest.approx(region.weight)
+
+    def test_zero_weight_objects(self):
+        rects = [wr(0, 0, 2, 2, w=0.0), wr(1, 1, 3, 3, w=0.0)]
+        region = plane_sweep_max(rects)
+        assert region is not None
+        assert region.weight == 0.0
+
+    def test_identical_rects_stack(self):
+        rects = [wr(0, 0, 2, 2, w=1.0) for _ in range(5)]
+        assert plane_sweep_max(rects).weight == 5.0
+
+    def test_sweep_items_degenerate_mixed(self):
+        items = [(Rect(0, 0, 2, 2), 1.0), (Rect(1, 1, 1, 5), 9.0)]
+        weight, rect = sweep_items_max(items)
+        assert weight == 1.0
+
+
+class TestLocalPlaneSweep:
+    def test_no_neighbors_returns_anchor(self):
+        anchor = wr(0, 0, 4, 4, w=2.5, oid=77)
+        region = local_plane_sweep(anchor, [])
+        assert region.weight == 2.5
+        assert region.rect == anchor.rect
+        assert region.anchor_oid == 77
+
+    def test_space_clipped_to_anchor(self):
+        anchor = wr(0, 0, 4, 4, w=1.0)
+        # two neighbours overlapping each other mostly OUTSIDE the anchor
+        n1 = wr(3, 3, 10, 10, w=5.0)
+        n2 = wr(3.5, 3.5, 11, 11, w=5.0)
+        region = local_plane_sweep(anchor, [n1, n2])
+        # best space on the anchor is the triple corner [3.5,4]²
+        assert region.weight == 11.0
+        assert anchor.rect.contains_rect(region.rect)
+
+    def test_non_overlapping_neighbor_ignored(self):
+        anchor = wr(0, 0, 2, 2, w=1.0)
+        region = local_plane_sweep(anchor, [wr(10, 10, 12, 12, w=9.0)])
+        assert region.weight == 1.0
+
+    def test_anchor_weight_always_included(self):
+        anchor = wr(0, 0, 4, 4, w=3.0)
+        region = local_plane_sweep(anchor, [wr(2, 2, 6, 6, w=1.0)])
+        assert region.weight == 4.0
+
+    def test_touching_neighbor_does_not_count(self):
+        anchor = wr(0, 0, 2, 2, w=1.0)
+        region = local_plane_sweep(anchor, [wr(2, 0, 4, 2, w=9.0)])
+        assert region.weight == 1.0
+
+
+class TestPlaneSweepTopK:
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            plane_sweep_topk([wr(0, 0, 1, 1)], 0)
+
+    def test_empty(self):
+        assert plane_sweep_topk([], 3) == []
+
+    def test_top1_equals_max(self):
+        rects = [
+            wr(0, 0, 6, 6, w=2.0),
+            wr(3, 1, 9, 7, w=1.5),
+            wr(2, 4, 8, 10, w=0.5),
+            wr(20, 20, 26, 26, w=3.0),
+        ]
+        top = plane_sweep_topk(rects, 1)
+        assert len(top) == 1
+        assert top[0].weight == pytest.approx(plane_sweep_max(rects).weight)
+
+    def test_ranking_descends(self):
+        rects = [wr(i * 10, 0, i * 10 + 4, 4, w=float(i)) for i in range(1, 6)]
+        top = plane_sweep_topk(rects, 3)
+        assert [r.weight for r in top] == [5.0, 4.0, 3.0]
+
+    def test_k_larger_than_candidates(self):
+        rects = [wr(0, 0, 2, 2), wr(10, 10, 12, 12)]
+        top = plane_sweep_topk(rects, 10)
+        assert 1 <= len(top) <= 10
+        assert top[0].weight == 1.0
+
+    def test_candidate_weights_are_achievable(self):
+        rects = [
+            wr(0, 0, 5, 5, w=1.0),
+            wr(3, 3, 8, 8, w=2.0),
+            wr(4, 0, 9, 5, w=1.5),
+            wr(1, 4, 6, 9, w=0.5),
+        ]
+        for region in plane_sweep_topk(rects, 4):
+            x, y = region.best_point
+            assert cover_weight(rects, x, y) == pytest.approx(region.weight)

@@ -1,0 +1,121 @@
+"""Property-based tests: the sweep solvers against brute-force oracles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bruteforce import (
+    brute_force_anchored_best,
+    brute_force_max,
+    cover_weight,
+)
+from repro.core.geometry import Rect
+from repro.core.objects import SpatialObject, WeightedRect
+from repro.core.planesweep import (
+    local_plane_sweep,
+    plane_sweep_max,
+    plane_sweep_topk,
+)
+
+# Coordinates from a small grid so overlaps, shared edges and exact
+# ties are common — the adversarial cases for sweep-line code.
+coord = st.integers(min_value=0, max_value=12).map(float)
+weight = st.sampled_from([0.0, 0.5, 1.0, 2.0, 3.5])
+
+
+@st.composite
+def weighted_rects(draw, min_size=0, max_size=12):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    rects = []
+    for i in range(n):
+        x1 = draw(coord)
+        y1 = draw(coord)
+        w = draw(st.integers(min_value=1, max_value=6))
+        h = draw(st.integers(min_value=1, max_value=6))
+        wt = draw(weight)
+        obj = SpatialObject(x=x1 + w / 2, y=y1 + h / 2, weight=wt)
+        rects.append(
+            WeightedRect(rect=Rect(x1, y1, x1 + w, y1 + h), weight=wt, obj=obj)
+        )
+    return rects
+
+
+@settings(max_examples=150, deadline=None)
+@given(rects=weighted_rects())
+def test_sweep_weight_matches_brute_force(rects):
+    """plane_sweep_max finds exactly the brute-force optimum weight."""
+    expected = brute_force_max(rects)
+    region = plane_sweep_max(rects)
+    if expected is None:
+        assert region is None
+        return
+    assert region is not None
+    assert region.weight == pytest.approx(expected[0])
+
+
+@settings(max_examples=150, deadline=None)
+@given(rects=weighted_rects(min_size=1))
+def test_sweep_region_is_achievable(rects):
+    """The reported region's interior truly has the reported weight."""
+    region = plane_sweep_max(rects)
+    if region is None:
+        return
+    x, y = region.best_point
+    assert cover_weight(rects, x, y) == pytest.approx(region.weight)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rects=weighted_rects(min_size=1, max_size=10))
+def test_local_sweep_matches_anchored_brute_force(rects):
+    """local_plane_sweep(anchor, rest) equals the exhaustive best
+    space on the anchor."""
+    anchor, *rest = rects
+    if anchor.rect.is_degenerate:
+        return
+    neighbors = [r for r in rest if r.rect.overlaps(anchor.rect)]
+    expected = brute_force_anchored_best(anchor, neighbors)
+    region = local_plane_sweep(anchor, neighbors)
+    assert region.weight == pytest.approx(expected)
+    assert region.anchor_oid == anchor.oid
+    # the space is on the anchor
+    assert anchor.rect.contains_rect(region.rect)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rects=weighted_rects(min_size=1), k=st.integers(min_value=1, max_value=5))
+def test_topk_top1_equals_max(rects, k):
+    """The single-sweep top-k's first entry is always the exact s*."""
+    best = plane_sweep_max(rects)
+    top = plane_sweep_topk(rects, k)
+    if best is None:
+        assert top == []
+        return
+    assert top
+    assert top[0].weight == pytest.approx(best.weight)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rects=weighted_rects(min_size=1), k=st.integers(min_value=1, max_value=5))
+def test_topk_is_sorted_and_achievable(rects, k):
+    top = plane_sweep_topk(rects, k)
+    weights = [r.weight for r in top]
+    assert weights == sorted(weights, reverse=True)
+    assert len(top) <= k
+    for region in top:
+        x, y = region.best_point
+        assert cover_weight(rects, x, y) == pytest.approx(region.weight)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rects=weighted_rects(min_size=2))
+def test_sweep_invariant_under_input_order(rects):
+    """The optimum weight cannot depend on input order."""
+    a = plane_sweep_max(rects)
+    b = plane_sweep_max(list(reversed(rects)))
+    if a is None:
+        assert b is None
+    else:
+        assert b is not None
+        assert a.weight == pytest.approx(b.weight)

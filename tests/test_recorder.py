@@ -1,0 +1,119 @@
+"""Tests for result recording and hotspot-change detection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.core.spaces import MaxRSResult, Region
+from repro.engine import ResultChange, ResultRecorder
+from repro.errors import InvalidParameterError
+
+
+def result_at(x, y, weight, tick=0) -> MaxRSResult:
+    region = Region(rect=Rect(x - 1, y - 1, x + 1, y + 1), weight=weight)
+    return MaxRSResult.single(region, tick=tick)
+
+
+class TestValidation:
+    def test_thresholds_non_negative(self):
+        with pytest.raises(InvalidParameterError):
+            ResultRecorder(move_threshold=-1)
+        with pytest.raises(InvalidParameterError):
+            ResultRecorder(weight_threshold=-0.1)
+        with pytest.raises(InvalidParameterError):
+            ResultRecorder(history=0)
+
+
+class TestChangeDetection:
+    def test_first_result_is_appearance(self):
+        rec = ResultRecorder()
+        change = rec.record(result_at(5, 5, 10.0, tick=1))
+        assert change is not None
+        assert change.appeared
+        assert not change.disappeared
+
+    def test_no_change_when_stable(self):
+        rec = ResultRecorder(move_threshold=1.0, weight_threshold=0.5)
+        rec.record(result_at(5, 5, 10.0))
+        change = rec.record(result_at(5.2, 5.0, 10.4))  # tiny drift
+        assert change is None
+
+    def test_move_detected(self):
+        rec = ResultRecorder(move_threshold=2.0, weight_threshold=math.inf)
+        rec.record(result_at(0, 0, 10.0))
+        change = rec.record(result_at(10, 0, 10.0, tick=2))
+        assert change is not None
+        assert change.moved_distance == pytest.approx(10.0)
+        assert change.tick == 2
+
+    def test_weight_change_detected(self):
+        rec = ResultRecorder(move_threshold=math.inf, weight_threshold=0.2)
+        rec.record(result_at(0, 0, 10.0))
+        change = rec.record(result_at(0, 0, 15.0))
+        assert change is not None
+        assert change.weight_ratio == pytest.approx(0.5)
+
+    def test_disappearance(self):
+        rec = ResultRecorder()
+        rec.record(result_at(0, 0, 10.0))
+        change = rec.record(MaxRSResult(tick=3))
+        assert change is not None
+        assert change.disappeared
+
+    def test_empty_to_empty_is_no_change(self):
+        rec = ResultRecorder()
+        assert rec.record(MaxRSResult()) is None
+
+    def test_zero_thresholds_flag_everything(self):
+        rec = ResultRecorder()
+        rec.record(result_at(0, 0, 10.0))
+        assert rec.record(result_at(0.001, 0, 10.0)) is not None
+
+
+class TestListeners:
+    def test_listener_fired_on_change(self):
+        rec = ResultRecorder()
+        seen: list[ResultChange] = []
+        rec.on_change(seen.append)
+        rec.record(result_at(0, 0, 5.0))
+        rec.record(result_at(50, 50, 5.0))
+        assert len(seen) == 2
+        assert seen[1].moved_distance > 0
+
+    def test_listener_not_fired_when_stable(self):
+        rec = ResultRecorder(move_threshold=100.0, weight_threshold=10.0)
+        count = [0]
+        rec.on_change(lambda _c: count.__setitem__(0, count[0] + 1))
+        rec.record(result_at(0, 0, 5.0))  # appearance fires
+        rec.record(result_at(1, 1, 5.0))
+        rec.record(result_at(2, 2, 5.0))
+        assert count[0] == 1
+
+
+class TestHistory:
+    def test_bounded_history(self):
+        rec = ResultRecorder(history=3)
+        for i in range(10):
+            rec.record(result_at(i, 0, 1.0, tick=i))
+        assert len(rec.history) == 3
+        assert rec.latest.tick == 9
+
+    def test_weight_series(self):
+        rec = ResultRecorder()
+        for w in (1.0, 2.0, 3.0):
+            rec.record(result_at(0, 0, w))
+        assert rec.weight_series() == [1.0, 2.0, 3.0]
+
+    def test_stability_metric(self):
+        rec = ResultRecorder(move_threshold=1000.0, weight_threshold=1000.0)
+        rec.record(result_at(0, 0, 1.0))  # appearance counts as change
+        for _ in range(9):
+            rec.record(result_at(0, 0, 1.0))
+        assert rec.stability() == pytest.approx(0.9)
+
+    def test_latest_none_when_empty(self):
+        assert ResultRecorder().latest is None
+        assert ResultRecorder().stability() == 1.0

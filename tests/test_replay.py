@@ -1,0 +1,89 @@
+"""Tests for replay/CSV stream sources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objects import SpatialObject
+from repro.errors import InvalidParameterError
+from repro.streams import CsvStream, ReplayStream, write_csv
+
+
+def sample() -> list[SpatialObject]:
+    return [
+        SpatialObject(x=1.5, y=2.5, weight=3.0, timestamp=0.0),
+        SpatialObject(x=4.0, y=5.0, weight=1.0, timestamp=1.0),
+        SpatialObject(x=6.0, y=7.0, weight=0.5, timestamp=2.0),
+    ]
+
+
+class TestReplayStream:
+    def test_preserves_order(self):
+        objs = sample()
+        stream = ReplayStream(objs)
+        assert [o.oid for o in stream] == [o.oid for o in objs]
+        assert len(stream) == 3
+
+    def test_replayable(self):
+        stream = ReplayStream(sample())
+        first = [o.x for o in stream]
+        second = [o.x for o in stream]
+        assert first == second
+
+
+class TestCsvStream:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        objs = sample()
+        write_csv(path, objs)
+        loaded = list(CsvStream(path))
+        assert [(o.x, o.y, o.weight, o.timestamp) for o in loaded] == [
+            (o.x, o.y, o.weight, o.timestamp) for o in objs
+        ]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            CsvStream(tmp_path / "nope.csv")
+
+    def test_header_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("x,y,weight,timestamp\n# comment\n1,2,3,4\n")
+        loaded = list(CsvStream(path))
+        assert len(loaded) == 1
+        assert loaded[0].weight == 3.0
+
+    def test_headerless_numeric_first_row(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("1,2,3\n4,5,6\n")
+        loaded = list(CsvStream(path))
+        assert len(loaded) == 2
+        # timestamp falls back to line number
+        assert loaded[0].timestamp == 1.0
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("1,2\n")
+        with pytest.raises(InvalidParameterError):
+            list(CsvStream(path))
+
+    def test_replayable(self, tmp_path):
+        path = tmp_path / "s.csv"
+        write_csv(path, sample())
+        stream = CsvStream(path)
+        assert len(list(stream)) == len(list(stream)) == 3
+
+    def test_feeds_monitor(self, tmp_path):
+        from repro.core.naive import NaiveMonitor
+        from repro.window import CountWindow
+
+        path = tmp_path / "s.csv"
+        write_csv(
+            path,
+            [
+                SpatialObject(x=10, y=10, weight=2, timestamp=0),
+                SpatialObject(x=11, y=11, weight=3, timestamp=1),
+            ],
+        )
+        monitor = NaiveMonitor(5, 5, CountWindow(10))
+        result = monitor.update(list(CsvStream(path)))
+        assert result.best_weight == 5.0

@@ -1,0 +1,135 @@
+"""Unit and property tests for the dynamic R-tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Rect
+from repro.core.rtree import RTree
+from repro.errors import InvalidParameterError
+
+
+def rect(x1, y1, w, h) -> Rect:
+    return Rect(x1, y1, x1 + w, y1 + h)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            RTree(max_entries=2)
+        with pytest.raises(InvalidParameterError):
+            RTree(max_entries=8, min_entries=5)
+        with pytest.raises(InvalidParameterError):
+            RTree(max_entries=8, min_entries=0)
+
+    def test_empty(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert list(tree.search_overlap(rect(0, 0, 10, 10))) == []
+
+
+class TestInsertSearch:
+    def test_single(self):
+        tree = RTree()
+        tree.insert("a", rect(0, 0, 4, 4))
+        assert list(tree.search_overlap(rect(2, 2, 4, 4))) == ["a"]
+        assert list(tree.search_overlap(rect(10, 10, 2, 2))) == []
+
+    def test_strict_overlap_semantics(self):
+        tree = RTree()
+        tree.insert("a", rect(0, 0, 2, 2))
+        # touching edge is NOT overlap, matching Rect.overlaps
+        assert list(tree.search_overlap(rect(2, 0, 2, 2))) == []
+
+    def test_many_inserts_split(self):
+        tree = RTree(max_entries=4)
+        for i in range(50):
+            tree.insert(i, rect(i * 3.0, 0, 2, 2))
+        tree.check_invariants()
+        assert len(tree) == 50
+        hits = set(tree.search_overlap(rect(0, 0, 10, 2)))
+        assert hits == {0, 1, 2, 3}  # rects at x=0,3,6,9
+
+    def test_duplicate_rects_different_keys(self):
+        tree = RTree()
+        for key in ("a", "b", "c"):
+            tree.insert(key, rect(0, 0, 2, 2))
+        assert set(tree.search_overlap(rect(1, 1, 1, 1))) == {"a", "b", "c"}
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = RTree()
+        tree.insert("a", rect(0, 0, 4, 4))
+        assert tree.delete("a", rect(0, 0, 4, 4))
+        assert len(tree) == 0
+        assert list(tree.search_overlap(rect(0, 0, 10, 10))) == []
+
+    def test_delete_missing(self):
+        tree = RTree()
+        tree.insert("a", rect(0, 0, 4, 4))
+        assert not tree.delete("b", rect(0, 0, 4, 4))
+        assert not tree.delete("a", rect(1, 1, 2, 2))
+        assert len(tree) == 1
+
+    def test_delete_specific_duplicate(self):
+        tree = RTree()
+        tree.insert("a", rect(0, 0, 2, 2))
+        tree.insert("b", rect(0, 0, 2, 2))
+        assert tree.delete("a", rect(0, 0, 2, 2))
+        assert set(tree.search_overlap(rect(1, 1, 1, 1))) == {"b"}
+
+    def test_mass_delete_condenses(self):
+        tree = RTree(max_entries=4)
+        rects = {i: rect((i % 10) * 3.0, (i // 10) * 3.0, 2, 2) for i in range(60)}
+        for key, r in rects.items():
+            tree.insert(key, r)
+        for key in range(0, 60, 2):
+            assert tree.delete(key, rects[key])
+        tree.check_invariants()
+        assert len(tree) == 30
+        alive = set(tree.search_overlap(rect(-1, -1, 100, 100)))
+        assert alive == set(range(1, 60, 2))
+
+
+class _BruteIndex:
+    def __init__(self):
+        self.items: dict[object, Rect] = {}
+
+    def search(self, query: Rect) -> set:
+        return {k for k, r in self.items.items() if r.overlaps(query)}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    ops=st.integers(min_value=5, max_value=120),
+    max_entries=st.sampled_from([4, 6, 9]),
+)
+def test_matches_brute_force_under_churn(seed, ops, max_entries):
+    """Random interleavings of insert/delete/search agree with a dict."""
+    rng = random.Random(seed)
+    tree = RTree(max_entries=max_entries)
+    ref = _BruteIndex()
+    next_key = 0
+    for _ in range(ops):
+        action = rng.random()
+        if action < 0.55 or not ref.items:
+            r = rect(rng.uniform(0, 80), rng.uniform(0, 80),
+                     rng.uniform(0.5, 15), rng.uniform(0.5, 15))
+            tree.insert(next_key, r)
+            ref.items[next_key] = r
+            next_key += 1
+        else:
+            victim = rng.choice(list(ref.items))
+            assert tree.delete(victim, ref.items[victim])
+            del ref.items[victim]
+        query = rect(rng.uniform(0, 80), rng.uniform(0, 80),
+                     rng.uniform(1, 25), rng.uniform(1, 25))
+        assert set(tree.search_overlap(query)) == ref.search(query)
+        assert len(tree) == len(ref.items)
+    tree.check_invariants()

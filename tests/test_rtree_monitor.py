@@ -1,0 +1,91 @@
+"""Tests for the R-tree-backed ablation monitor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_objects
+from repro.core.naive import NaiveMonitor
+from repro.core.objects import SpatialObject
+from repro.core.rtree_monitor import RTreeMonitor
+from repro.window import CountWindow
+
+
+class TestRTreeMonitor:
+    def test_empty(self):
+        m = RTreeMonitor(10, 10, CountWindow(5))
+        assert m.update([]).is_empty
+        assert m.tree_size == 0
+
+    def test_single(self):
+        m = RTreeMonitor(10, 10, CountWindow(5))
+        result = m.update([SpatialObject(x=5, y=5, weight=3.0)])
+        assert result.best_weight == 3.0
+        assert m.tree_size == 1
+
+    def test_matches_naive_over_stream(self):
+        rt = RTreeMonitor(10, 10, CountWindow(30))
+        naive = NaiveMonitor(10, 10, CountWindow(30))
+        for i in range(12):
+            batch = make_objects(6, seed=400 + i, domain=70.0)
+            a = rt.update(batch)
+            b = naive.update(batch)
+            assert a.best_weight == pytest.approx(b.best_weight), f"batch {i}"
+            rt.check_invariants()
+
+    def test_expiry_shrinks_tree(self):
+        m = RTreeMonitor(10, 10, CountWindow(5))
+        m.update(make_objects(5, seed=1))
+        m.update(make_objects(5, seed=2))
+        assert m.tree_size == 5
+        assert len(m.window) == 5
+
+    def test_expired_best_recovers(self):
+        m = RTreeMonitor(10, 10, CountWindow(2))
+        m.update([SpatialObject(x=5, y=5, weight=9), SpatialObject(x=6, y=6, weight=9)])
+        assert m.result.best_weight == 18.0
+        result = m.update(
+            [SpatialObject(x=80, y=80, weight=1), SpatialObject(x=81, y=81, weight=1)]
+        )
+        assert result.best_weight == 2.0
+
+    def test_heap_handles_superseded_entries(self):
+        """A vertex whose space grows leaves a stale heap entry that
+        must be skipped, not reported."""
+        m = RTreeMonitor(10, 10, CountWindow(10))
+        a = SpatialObject(x=5, y=5, weight=1.0)
+        m.update([a])
+        m.update([SpatialObject(x=6, y=6, weight=1.0)])
+        m.update([SpatialObject(x=7, y=7, weight=1.0)])
+        assert m.result.best_weight == pytest.approx(3.0)
+        assert m.result.best.anchor_oid == a.oid
+
+
+coord = st.integers(min_value=0, max_value=45).map(float)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    objs=st.lists(
+        st.builds(
+            SpatialObject,
+            x=coord,
+            y=coord,
+            weight=st.sampled_from([0.5, 1.0, 2.0]),
+        ),
+        min_size=0,
+        max_size=50,
+    ),
+    capacity=st.integers(min_value=1, max_value=25),
+)
+def test_rtree_monitor_equals_naive_property(objs, capacity):
+    rt = RTreeMonitor(8, 8, CountWindow(capacity))
+    naive = NaiveMonitor(8, 8, CountWindow(capacity))
+    for pos in range(0, len(objs), 5):
+        batch = objs[pos : pos + 5]
+        a = rt.update(batch)
+        b = naive.update(batch)
+        assert a.best_weight == pytest.approx(b.best_weight)
+    rt.check_invariants()

@@ -1,0 +1,111 @@
+"""Tests for the sampling-based approximate MaxRS comparator ([25])."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_objects, make_rects
+from repro.core.naive import NaiveMonitor
+from repro.core.planesweep import plane_sweep_max
+from repro.core.sampling import (
+    SamplingMonitor,
+    sample_maxrs,
+    suggested_sample_size,
+)
+from repro.errors import InvalidParameterError
+from repro.window import CountWindow
+
+
+class TestSuggestedSampleSize:
+    def test_monotone_in_epsilon(self):
+        assert suggested_sample_size(10_000, 0.1) > suggested_sample_size(
+            10_000, 0.5
+        )
+
+    def test_clamped_to_population(self):
+        assert suggested_sample_size(10, 0.01) == 10
+
+    def test_empty_population(self):
+        assert suggested_sample_size(0, 0.1) == 0
+
+    def test_epsilon_validation(self):
+        with pytest.raises(InvalidParameterError):
+            suggested_sample_size(100, 0.0)
+        with pytest.raises(InvalidParameterError):
+            suggested_sample_size(100, 1.0)
+
+
+class TestSampleMaxRS:
+    def test_empty(self):
+        assert sample_maxrs([], 5, random.Random(0)) is None
+
+    def test_sample_size_validation(self):
+        rects = make_rects(5)
+        with pytest.raises(InvalidParameterError):
+            sample_maxrs(rects, 0, random.Random(0))
+
+    def test_full_sample_is_exact(self):
+        rects = make_rects(20, seed=3, domain=80.0)
+        exact = plane_sweep_max(rects)
+        sampled = sample_maxrs(rects, len(rects), random.Random(0))
+        assert sampled.weight == pytest.approx(exact.weight)
+
+    def test_oversized_sample_is_exact(self):
+        rects = make_rects(10, seed=4)
+        exact = plane_sweep_max(rects)
+        sampled = sample_maxrs(rects, 99, random.Random(0))
+        assert sampled.weight == pytest.approx(exact.weight)
+
+    def test_estimate_concentrates_on_dense_input(self):
+        """On a dense uniform workload the scaled estimate lands within
+        a modest factor of the truth (averaged over seeds)."""
+        rects = make_rects(400, seed=7, domain=60.0, side=20.0)
+        exact = plane_sweep_max(rects).weight
+        estimates = [
+            sample_maxrs(rects, 200, random.Random(seed)).weight
+            for seed in range(10)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert 0.6 * exact <= mean <= 1.4 * exact
+
+    def test_answers_vary_across_seeds(self):
+        """The paper's first objection to [25] as a monitor: the answer
+        is not stable run to run."""
+        rects = make_rects(300, seed=9, domain=60.0, side=15.0)
+        weights = {
+            round(sample_maxrs(rects, 60, random.Random(seed)).weight, 6)
+            for seed in range(8)
+        }
+        assert len(weights) > 1
+
+
+class TestSamplingMonitor:
+    def test_epsilon_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SamplingMonitor(10, 10, CountWindow(5), epsilon=0.0)
+
+    def test_tracks_window(self):
+        m = SamplingMonitor(10, 10, CountWindow(50), epsilon=0.3, seed=1)
+        result = m.update(make_objects(30, seed=2, domain=40.0))
+        assert not result.is_empty
+        assert result.window_size == 30
+
+    def test_empty_window(self):
+        m = SamplingMonitor(10, 10, CountWindow(5), epsilon=0.3)
+        assert m.update([]).is_empty
+
+    def test_recomputes_every_batch(self):
+        m = SamplingMonitor(10, 10, CountWindow(100), epsilon=0.3)
+        for i in range(3):
+            m.update(make_objects(10, seed=i))
+        assert m.stats.full_sweeps == 3
+
+    def test_estimate_not_wildly_off_exact(self):
+        sampling = SamplingMonitor(15, 15, CountWindow(300), epsilon=0.2, seed=3)
+        naive = NaiveMonitor(15, 15, CountWindow(300))
+        batch = make_objects(300, seed=11, domain=80.0)
+        a = sampling.update(batch)
+        b = naive.update(batch)
+        assert 0.4 * b.best_weight <= a.best_weight <= 2.0 * b.best_weight

@@ -1,0 +1,56 @@
+"""Unit tests for the result model (Region / MaxRSResult)."""
+
+from __future__ import annotations
+
+from repro.core.geometry import Rect
+from repro.core.spaces import MaxRSResult, Region, region_key
+
+
+class TestRegion:
+    def test_best_point_is_center(self):
+        reg = Region(rect=Rect(0, 0, 4, 2), weight=10.0)
+        assert reg.best_point == (2.0, 1.0)
+
+    def test_same_extent(self):
+        a = Region(rect=Rect(0, 0, 1, 1), weight=3.0)
+        b = Region(rect=Rect(0, 0, 1, 1), weight=7.0, anchor_oid=5)
+        c = Region(rect=Rect(0, 0, 2, 1), weight=3.0)
+        assert a.same_extent(b)
+        assert not a.same_extent(c)
+
+    def test_region_key(self):
+        reg = Region(rect=Rect(1, 2, 3, 4), weight=0.0)
+        assert region_key(reg) == (1, 2, 3, 4)
+
+    def test_anchor_default_none(self):
+        assert Region(rect=Rect(0, 0, 1, 1), weight=0.0).anchor_oid is None
+
+
+class TestMaxRSResult:
+    def test_empty(self):
+        res = MaxRSResult()
+        assert res.is_empty
+        assert res.best is None
+        assert res.best_weight == 0.0
+
+    def test_single(self):
+        reg = Region(rect=Rect(0, 0, 1, 1), weight=5.0)
+        res = MaxRSResult.single(reg, tick=3, window_size=10)
+        assert res.best is reg
+        assert res.best_weight == 5.0
+        assert res.tick == 3 and res.window_size == 10
+
+    def test_single_none(self):
+        res = MaxRSResult.single(None, tick=1)
+        assert res.is_empty
+
+    def test_ranked_orders_by_weight(self):
+        regions = [
+            Region(rect=Rect(0, 0, 1, 1), weight=w) for w in (2.0, 9.0, 5.0)
+        ]
+        res = MaxRSResult.ranked(regions)
+        assert [r.weight for r in res.regions] == [9.0, 5.0, 2.0]
+        assert res.best_weight == 9.0
+
+    def test_ranked_empty(self):
+        assert MaxRSResult.ranked([]).is_empty

@@ -1,0 +1,152 @@
+"""Tests for the stream generators."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.streams import (
+    Hotspot,
+    HotspotMixtureStream,
+    TrajectoryFleetStream,
+    UniformStream,
+    batches,
+)
+
+
+class TestUniformStream:
+    def test_reproducible(self):
+        a = UniformStream(domain=100.0, seed=5).take(20)
+        b = UniformStream(domain=100.0, seed=5).take(20)
+        assert [(o.x, o.y, o.weight) for o in a] == [
+            (o.x, o.y, o.weight) for o in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = UniformStream(seed=1).take(5)
+        b = UniformStream(seed=2).take(5)
+        assert [(o.x, o.y) for o in a] != [(o.x, o.y) for o in b]
+
+    def test_within_domain(self):
+        for o in UniformStream(domain=50.0, seed=3).take(200):
+            assert 0 <= o.x <= 50 and 0 <= o.y <= 50
+            assert 0 <= o.weight <= 1000
+
+    def test_timestamps_increase(self):
+        ts = [o.timestamp for o in UniformStream(seed=1, dt=2.0).take(10)]
+        assert ts == [2.0 * i for i in range(10)]
+
+    def test_unit_weights(self):
+        objs = UniformStream(weight_max=0.0, seed=1).take(10)
+        assert all(o.weight == 1.0 for o in objs)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            UniformStream(domain=0)
+        with pytest.raises(InvalidParameterError):
+            UniformStream(weight_max=-1)
+
+    def test_independent_iterations(self):
+        """Iterating the same stream twice replays it identically."""
+        s = UniformStream(seed=9)
+        assert [(o.x, o.y) for o in s.take(5)] == [
+            (o.x, o.y) for o in s.take(5)
+        ]
+
+
+class TestHotspotMixtureStream:
+    def test_hotspot_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Hotspot(cx=2.0, cy=0.5, sigma=0.1, share=1.0)
+        with pytest.raises(InvalidParameterError):
+            Hotspot(cx=0.5, cy=0.5, sigma=0.0, share=1.0)
+        with pytest.raises(InvalidParameterError):
+            Hotspot(cx=0.5, cy=0.5, sigma=0.1, share=0.0)
+
+    def test_requires_hotspots(self):
+        with pytest.raises(InvalidParameterError):
+            HotspotMixtureStream(hotspots=[])
+
+    def test_skew_concentrates_mass(self):
+        hotspot = Hotspot(cx=0.5, cy=0.5, sigma=0.02, share=0.9)
+        stream = HotspotMixtureStream(
+            hotspots=[hotspot], background_share=0.1, domain=1000.0, seed=4
+        )
+        objs = stream.take(500)
+        near = sum(
+            1 for o in objs if abs(o.x - 500) < 100 and abs(o.y - 500) < 100
+        )
+        assert near > 350  # ~90% of mass within 5 sigma
+
+    def test_clamped_to_domain(self):
+        hotspot = Hotspot(cx=0.0, cy=0.0, sigma=0.2, share=1.0)
+        stream = HotspotMixtureStream(
+            hotspots=[hotspot], background_share=0.0, domain=100.0, seed=1
+        )
+        for o in stream.take(200):
+            assert 0 <= o.x <= 100 and 0 <= o.y <= 100
+
+    def test_reproducible(self):
+        hs = [Hotspot(cx=0.3, cy=0.7, sigma=0.05, share=1.0)]
+        a = HotspotMixtureStream(hotspots=hs, seed=8).take(30)
+        b = HotspotMixtureStream(hotspots=hs, seed=8).take(30)
+        assert [(o.x, o.y) for o in a] == [(o.x, o.y) for o in b]
+
+
+class TestTrajectoryFleetStream:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TrajectoryFleetStream(vehicles=0)
+        with pytest.raises(InvalidParameterError):
+            TrajectoryFleetStream(hotspot_bias=1.5)
+        with pytest.raises(InvalidParameterError):
+            TrajectoryFleetStream(speed=0)
+
+    def test_within_domain(self):
+        stream = TrajectoryFleetStream(vehicles=5, domain=100.0, seed=2)
+        for o in stream.take(200):
+            assert 0 <= o.x <= 100 and 0 <= o.y <= 100
+
+    def test_temporal_locality(self):
+        """Consecutive reports of one vehicle stay close (bounded speed)."""
+        stream = TrajectoryFleetStream(
+            vehicles=1, domain=1000.0, speed=0.01, seed=3
+        )
+        objs = stream.take(50)
+        for a, b in zip(objs, objs[1:]):
+            dist = ((a.x - b.x) ** 2 + (a.y - b.y) ** 2) ** 0.5
+            assert dist <= 1000.0 * 0.01 * 1.5 + 1e-6
+
+    def test_timestamps_strictly_increase(self):
+        stream = TrajectoryFleetStream(vehicles=3, seed=1)
+        ts = [o.timestamp for o in stream.take(30)]
+        assert all(a < b for a, b in zip(ts, ts[1:]))
+
+    def test_reproducible(self):
+        a = TrajectoryFleetStream(vehicles=4, seed=6).take(20)
+        b = TrajectoryFleetStream(vehicles=4, seed=6).take(20)
+        assert [(o.x, o.y) for o in a] == [(o.x, o.y) for o in b]
+
+
+class TestBatches:
+    def test_groups_evenly(self):
+        got = list(batches(iter(UniformStream(seed=1).take(10)), 5))
+        assert [len(b) for b in got] == [5, 5]
+
+    def test_trailing_partial_batch(self):
+        got = list(batches(iter(UniformStream(seed=1).take(7)), 3))
+        assert [len(b) for b in got] == [3, 3, 1]
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            next(batches(UniformStream(seed=1), 0))
+
+    def test_unbounded_source(self):
+        got = list(itertools.islice(batches(UniformStream(seed=1), 4), 3))
+        assert [len(b) for b in got] == [4, 4, 4]
+
+    def test_take_validation(self):
+        with pytest.raises(InvalidParameterError):
+            UniformStream(seed=1).take(-1)

@@ -1,0 +1,111 @@
+"""Tests for continuous top-k monitoring (§6.2, Algorithm 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_objects
+from repro.core.bruteforce import brute_force_topk_anchored
+from repro.core.naive import NaiveMonitor
+from repro.core.objects import SpatialObject, to_weighted_rects
+from repro.core.topk import TopKAG2Monitor
+from repro.errors import InvalidParameterError
+from repro.window import CountWindow
+
+
+def mk(k, capacity=40, side=10.0, **kw) -> TopKAG2Monitor:
+    return TopKAG2Monitor(side, side, CountWindow(capacity), k=k, **kw)
+
+
+def anchored_reference(monitor: TopKAG2Monitor, side: float, k: int):
+    """Exact anchored top-k over the monitor's current window."""
+    alive = to_weighted_rects(monitor.window.contents, side, side)
+    return brute_force_topk_anchored(alive, k)
+
+
+class TestTopKBasics:
+    def test_k_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mk(0)
+
+    def test_empty(self):
+        assert mk(3).update([]).is_empty
+
+    def test_k1_matches_naive_top1(self):
+        topk = mk(1, capacity=25)
+        naive = NaiveMonitor(10, 10, CountWindow(25))
+        for i in range(10):
+            batch = make_objects(5, seed=i, domain=60.0)
+            a = topk.update(batch)
+            b = naive.update(batch)
+            assert a.best_weight == pytest.approx(b.best_weight)
+
+    def test_fewer_objects_than_k(self):
+        m = mk(5)
+        result = m.update(make_objects(2, domain=200.0))
+        assert len(result.regions) == 2
+
+    def test_results_sorted_and_distinct_anchors(self):
+        m = mk(4, capacity=30)
+        for i in range(6):
+            m.update(make_objects(5, seed=40 + i, domain=50.0))
+        regions = m.result.regions
+        weights = [r.weight for r in regions]
+        assert weights == sorted(weights, reverse=True)
+        anchors = [r.anchor_oid for r in regions]
+        assert len(anchors) == len(set(anchors))
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_matches_anchored_brute_force(self, k):
+        m = mk(k, capacity=25, side=12.0)
+        for i in range(8):
+            batch = make_objects(5, seed=900 + i, domain=60.0)
+            result = m.update(batch)
+            expected = anchored_reference(m, 12.0, k)
+            got = [r.weight for r in result.regions]
+            want = [w for w, _ in expected]
+            assert got == pytest.approx(want), f"k={k} batch {i}"
+
+    def test_recovers_after_member_expiry(self):
+        m = mk(2, capacity=3)
+        m.update(
+            [
+                SpatialObject(x=5, y=5, weight=9),
+                SpatialObject(x=6, y=6, weight=9),
+                SpatialObject(x=80, y=80, weight=4),
+            ]
+        )
+        top = [r.weight for r in m.result.regions]
+        assert top == pytest.approx([18.0, 9.0])
+        # push out the heavy pair
+        m.update(
+            [
+                SpatialObject(x=40, y=40, weight=1),
+                SpatialObject(x=60, y=60, weight=2),
+            ]
+        )
+        expected = anchored_reference(m, 10.0, 2)
+        assert [r.weight for r in m.result.regions] == pytest.approx(
+            [w for w, _ in expected]
+        )
+
+    def test_k_larger_than_window(self):
+        m = mk(50, capacity=5)
+        result = m.update(make_objects(10, domain=200.0))
+        assert len(result.regions) == 5
+
+    def test_duplicate_anchor_across_cells_deduped(self):
+        # object on a grid corner appears in 4 cells; must appear once
+        m = mk(4, capacity=10, cell_size=10.0)
+        result = m.update([SpatialObject(x=10, y=10, weight=2.0)])
+        assert len(result.regions) == 1
+        assert result.best_weight == 2.0
+
+    def test_naive_topk_top1_matches(self):
+        topk = mk(5, capacity=30)
+        naive = NaiveMonitor(10, 10, CountWindow(30), k=5)
+        for i in range(8):
+            batch = make_objects(6, seed=70 + i, domain=50.0)
+            a = topk.update(batch)
+            b = naive.update(batch)
+            assert a.best_weight == pytest.approx(b.best_weight)

@@ -1,0 +1,67 @@
+"""Property-based tests for top-k monitoring against the anchored oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bruteforce import brute_force_topk_anchored
+from repro.core.objects import SpatialObject, to_weighted_rects
+from repro.core.topk import TopKAG2Monitor
+from repro.window import CountWindow
+
+coord = st.integers(min_value=0, max_value=40).map(float)
+
+objects = st.lists(
+    st.builds(
+        SpatialObject,
+        x=coord,
+        y=coord,
+        weight=st.sampled_from([0.5, 1.0, 2.0, 4.0]),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    objs=objects,
+    k=st.integers(min_value=1, max_value=6),
+    capacity=st.integers(min_value=2, max_value=25),
+    side=st.sampled_from([6.0, 12.0]),
+    cell_size=st.sampled_from([10.0, 25.0]),
+)
+def test_topk_weights_match_anchored_oracle(objs, k, capacity, side, cell_size):
+    """After every batch the monitor's k weights equal the exhaustive
+    anchored top-k over the window contents."""
+    monitor = TopKAG2Monitor(
+        side, side, CountWindow(capacity), k=k, cell_size=cell_size
+    )
+    for pos in range(0, len(objs), 4):
+        result = monitor.update(objs[pos : pos + 4])
+        alive = to_weighted_rects(monitor.window.contents, side, side)
+        expected = [w for w, _oid in brute_force_topk_anchored(alive, k)]
+        got = [r.weight for r in result.regions]
+        assert got == pytest.approx(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    objs=objects,
+    k=st.integers(min_value=1, max_value=5),
+    capacity=st.integers(min_value=2, max_value=20),
+)
+def test_topk_structural_invariants(objs, k, capacity):
+    """Ranked, anchor-distinct, no more than k and never more than the
+    alive object count."""
+    monitor = TopKAG2Monitor(8.0, 8.0, CountWindow(capacity), k=k)
+    for pos in range(0, len(objs), 3):
+        result = monitor.update(objs[pos : pos + 3])
+        weights = [r.weight for r in result.regions]
+        assert weights == sorted(weights, reverse=True)
+        assert len(result.regions) <= min(k, len(monitor.window))
+        anchors = [r.anchor_oid for r in result.regions]
+        assert len(anchors) == len(set(anchors))
+        monitor.check_invariants()

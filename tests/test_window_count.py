@@ -1,0 +1,102 @@
+"""Unit tests for the count-based sliding window."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objects import SpatialObject
+from repro.errors import InvalidParameterError
+from repro.window import CountWindow
+
+
+def objs(n: int, start: int = 0) -> list[SpatialObject]:
+    return [SpatialObject(x=i, y=i, timestamp=i) for i in range(start, start + n)]
+
+
+class TestCountWindow:
+    def test_capacity_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CountWindow(0)
+        with pytest.raises(InvalidParameterError):
+            CountWindow(-5)
+
+    def test_fill_below_capacity(self):
+        w = CountWindow(5)
+        batch = objs(3)
+        update = w.push(batch)
+        assert update.arrived == tuple(batch)
+        assert update.expired == ()
+        assert len(w) == 3
+        assert not w.is_full
+
+    def test_eviction_is_fifo(self):
+        w = CountWindow(3)
+        first = objs(3)
+        w.push(first)
+        second = objs(2, start=3)
+        update = w.push(second)
+        assert update.expired == tuple(first[:2])
+        assert w.contents == (first[2], *second)
+
+    def test_exact_fill_no_eviction(self):
+        w = CountWindow(4)
+        update = w.push(objs(4))
+        assert update.expired == ()
+        assert w.is_full
+
+    def test_oversized_batch_admits_tail_only(self):
+        w = CountWindow(3)
+        old = objs(2)
+        w.push(old)
+        big = objs(5, start=2)
+        update = w.push(big)
+        # previous contents expired; only the newest 3 of the batch enter
+        assert update.expired == tuple(old)
+        assert update.arrived == tuple(big[-3:])
+        assert w.contents == tuple(big[-3:])
+
+    def test_oversized_batch_on_empty_window(self):
+        w = CountWindow(2)
+        big = objs(5)
+        update = w.push(big)
+        assert update.expired == ()
+        assert update.arrived == tuple(big[-2:])
+
+    def test_empty_push_is_noop(self):
+        w = CountWindow(3)
+        w.push(objs(2))
+        update = w.push([])
+        assert update.is_noop
+        assert len(w) == 2
+
+    def test_tick_increments_every_push(self):
+        w = CountWindow(3)
+        assert w.tick == 0
+        w.push(objs(1))
+        w.push([])
+        assert w.tick == 2
+
+    def test_clear(self):
+        w = CountWindow(3)
+        w.push(objs(3))
+        w.clear()
+        assert len(w) == 0
+        assert w.contents == ()
+
+    def test_expiry_in_arrival_order_across_batches(self):
+        """Indexes rely on expiration strictly following arrival order."""
+        w = CountWindow(4)
+        seen: list[SpatialObject] = []
+        expired: list[SpatialObject] = []
+        for i in range(10):
+            batch = objs(2, start=i * 2)
+            seen.extend(batch)
+            expired.extend(w.push(batch).expired)
+        assert expired == seen[: len(expired)]
+
+    def test_contents_oldest_first(self):
+        w = CountWindow(10)
+        batch = objs(6)
+        w.push(batch[:3])
+        w.push(batch[3:])
+        assert list(w.contents) == batch

@@ -1,0 +1,80 @@
+"""Property-based tests of window semantics (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objects import SpatialObject
+from repro.window import CountWindow, TimeWindow
+
+batch_sizes = st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=20)
+
+
+def _mk(n: int, start: int) -> list[SpatialObject]:
+    return [
+        SpatialObject(x=float(i), y=0.0, timestamp=float(i))
+        for i in range(start, start + n)
+    ]
+
+
+@settings(max_examples=80, deadline=None)
+@given(capacity=st.integers(min_value=1, max_value=10), sizes=batch_sizes)
+def test_count_window_semantics(capacity: int, sizes: list[int]):
+    """The window always equals the newest min(capacity, seen) objects,
+    expiry follows arrival order, and delta lists are consistent."""
+    w = CountWindow(capacity)
+    alive: list[SpatialObject] = []
+    next_id = 0
+    for size in sizes:
+        batch = _mk(size, next_id)
+        next_id += size
+        update = w.push(batch)
+        # simulate: append admitted, drop oldest beyond capacity
+        alive.extend(update.arrived)
+        dropped = alive[: max(0, len(alive) - capacity)]
+        alive = alive[len(dropped):]
+        assert list(update.expired) == dropped
+        assert list(w.contents) == alive
+        assert len(w) <= capacity
+        # arrived must be a suffix of the pushed batch
+        assert list(update.arrived) == batch[len(batch) - len(update.arrived):]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    duration=st.integers(min_value=1, max_value=15),
+    gaps=st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=25),
+)
+def test_time_window_semantics(duration: int, gaps: list[float]):
+    """All and only objects with timestamp > now - duration are alive."""
+    w = TimeWindow(float(duration))
+    t = 0.0
+    pushed: list[SpatialObject] = []
+    for gap in gaps:
+        t += gap
+        obj = SpatialObject(x=0.0, y=0.0, timestamp=t)
+        pushed.append(obj)
+        w.push([obj])
+        cutoff = t - duration
+        expected = [o for o in pushed if o.timestamp > cutoff]
+        assert list(w.contents) == expected
+        assert w.now == t
+
+
+@settings(max_examples=60, deadline=None)
+@given(capacity=st.integers(min_value=1, max_value=8), sizes=batch_sizes)
+def test_count_window_expired_is_prefix_of_arrived(capacity, sizes):
+    """Global ordering contract used by the indexes: concatenated
+    expirations are exactly a prefix of concatenated arrivals."""
+    w = CountWindow(capacity)
+    arrived: list[int] = []
+    expired: list[int] = []
+    next_id = 0
+    for size in sizes:
+        batch = _mk(size, next_id)
+        next_id += size
+        update = w.push(batch)
+        arrived.extend(o.oid for o in update.arrived)
+        expired.extend(o.oid for o in update.expired)
+    assert expired == arrived[: len(expired)]

@@ -1,0 +1,109 @@
+"""Unit tests for the time-based sliding window."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objects import SpatialObject
+from repro.errors import InvalidParameterError, WindowOrderError
+from repro.window import TimeWindow
+
+
+def at(*timestamps: float) -> list[SpatialObject]:
+    return [SpatialObject(x=0, y=0, timestamp=t) for t in timestamps]
+
+
+class TestTimeWindow:
+    def test_duration_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TimeWindow(0)
+        with pytest.raises(InvalidParameterError):
+            TimeWindow(-1.0)
+
+    def test_keeps_recent_objects(self):
+        w = TimeWindow(10.0)
+        batch = at(0, 3, 5)
+        update = w.push(batch)
+        assert update.arrived == tuple(batch)
+        assert update.expired == ()
+        assert w.now == 5.0
+
+    def test_expires_by_age(self):
+        w = TimeWindow(10.0)
+        old = at(0, 2)
+        w.push(old)
+        update = w.push(at(11, 12))
+        # cutoff is 12 - 10 = 2: timestamps <= 2 expire
+        assert update.expired == tuple(old)
+        assert len(w) == 2
+
+    def test_boundary_timestamp_expires(self):
+        w = TimeWindow(5.0)
+        first = at(0)
+        w.push(first)
+        update = w.push(at(5.0))
+        assert update.expired == tuple(first)
+
+    def test_out_of_order_batch_rejected(self):
+        w = TimeWindow(10.0)
+        w.push(at(5))
+        with pytest.raises(WindowOrderError):
+            w.push(at(3))
+
+    def test_out_of_order_within_batch_rejected(self):
+        w = TimeWindow(10.0)
+        with pytest.raises(WindowOrderError):
+            w.push(at(4, 2))
+
+    def test_equal_timestamps_allowed(self):
+        w = TimeWindow(10.0)
+        w.push(at(1, 1, 1))
+        assert len(w) == 3
+
+    def test_advance_to_expires_without_arrivals(self):
+        w = TimeWindow(4.0)
+        batch = at(0, 1, 3)
+        w.push(batch)
+        assert len(w) == 3
+        update = w.advance_to(5.5)  # cutoff 1.5: expires t=0 and t=1
+        assert update.arrived == ()
+        assert update.expired == tuple(batch[:2])
+        assert len(w) == 1
+
+    def test_advance_backwards_rejected(self):
+        w = TimeWindow(4.0)
+        w.push(at(10))
+        with pytest.raises(WindowOrderError):
+            w.advance_to(5.0)
+
+    def test_stale_batch_member_never_alive(self):
+        """An object already out of range on arrival appears in neither
+        delta list (it was never alive)."""
+        w = TimeWindow(2.0)
+        update = w.push(at(0, 10))
+        assert update.arrived == at(0, 10)[1:] or len(update.arrived) == 1
+        assert update.expired == ()
+        assert len(w) == 1
+        assert w.contents[0].timestamp == 10
+
+    def test_expired_subset_of_arrived(self):
+        """Delta contract: everything expired previously arrived."""
+        w = TimeWindow(3.0)
+        arrived: list[SpatialObject] = []
+        expired: list[SpatialObject] = []
+        t = 0.0
+        for _ in range(20):
+            batch = at(t, t + 0.5)
+            update = w.push(batch)
+            arrived.extend(update.arrived)
+            expired.extend(update.expired)
+            t += 1.0
+        assert expired == arrived[: len(expired)]
+
+    def test_clear_resets_clock(self):
+        w = TimeWindow(5.0)
+        w.push(at(100))
+        w.clear()
+        assert len(w) == 0
+        w.push(at(0))  # clock reset: earlier timestamps accepted again
+        assert len(w) == 1
