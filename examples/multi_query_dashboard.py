@@ -69,7 +69,7 @@ def main() -> None:
             blocks = results["top3"].regions
             print(
                 f"tick {tick:>3}: district hub weight={district.weight:,.0f} "
-                f"| top blocks: "
+                + "| top blocks: "
                 + ", ".join(f"{r.weight:,.0f}" for r in blocks)
             )
         if tick == 20:

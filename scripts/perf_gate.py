@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""CI perf-regression smoke gate over a ``maxrs-stream profile`` JSON.
+
+Asserts the pruning behaviour the paper's §7 evaluation is built on —
+the properties a refactor is most likely to degrade silently:
+
+1. aG2 visits strictly fewer cells than G2 (branch-and-bound skips
+   work the basic monitor must do);
+2. aG2 records a nonzero number of branch-and-bound cell prunings;
+3. aG2's mean update time is reported and positive (the workload ran).
+
+Usage::
+
+    maxrs-stream profile --window 2000 --batches 10 --seed 7 --json m.json
+    python scripts/perf_gate.py m.json
+
+Exits 0 when every check passes, 1 with a diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def check(metrics_path: str) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    with open(metrics_path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+
+    failures: list[str] = []
+    monitors = doc.get("metrics", {})
+    for required in ("g2", "ag2"):
+        if required not in monitors:
+            failures.append(f"profile JSON has no metrics for {required!r}")
+    if failures:
+        return failures
+
+    g2 = monitors["g2"]["counters"]
+    ag2 = monitors["ag2"]["counters"]
+
+    g2_visited = g2.get("cells_visited", 0.0)
+    ag2_visited = ag2.get("cells_visited", 0.0)
+    if not g2_visited > 0:
+        failures.append("g2 visited no cells — workload did not run?")
+    if not ag2_visited < g2_visited:
+        failures.append(
+            "branch-and-bound regression: aG2 visited "
+            f"{ag2_visited:.0f} cells, G2 visited {g2_visited:.0f} "
+            "(expected aG2 strictly fewer)"
+        )
+
+    prunings = ag2.get("cells_pruned", 0.0)
+    if not prunings > 0:
+        failures.append(
+            "pruning regression: aG2 recorded zero cell prunings"
+        )
+
+    timings = doc.get("timings", {})
+    ag2_mean = timings.get("ag2", {}).get("mean_ms", 0.0)
+    if not ag2_mean > 0:
+        failures.append("no aG2 timing recorded — workload did not run?")
+
+    if doc.get("source_exhausted"):
+        failures.append(
+            "stream exhausted mid-run: "
+            f"{doc.get('batches')} of {doc.get('requested_batches')} batches"
+        )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <metrics.json>", file=sys.stderr)
+        return 2
+    try:
+        failures = check(argv[1])
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"PERF GATE FAIL: cannot read {argv[1]}: {exc}", file=sys.stderr)
+        return 1
+    if failures:
+        for message in failures:
+            print(f"PERF GATE FAIL: {message}", file=sys.stderr)
+        return 1
+    print("perf gate: aG2 pruning behaviour verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

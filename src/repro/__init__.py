@@ -50,6 +50,7 @@ from repro.errors import (
     WindowOrderError,
 )
 from repro.engine import MultiQueryGroup, ResultChange, ResultRecorder
+from repro.obs import NULL_METRICS, Metrics, MetricsSnapshot
 from repro.persist import load_json, restore, save_json, snapshot
 from repro.window import CountWindow, SlidingWindow, TimeWindow, WindowUpdate
 
@@ -68,8 +69,11 @@ __all__ = [
     "InvariantViolationError",
     "MaxRSMonitor",
     "MaxRSResult",
+    "Metrics",
+    "MetricsSnapshot",
     "MonitorStats",
     "MultiQueryGroup",
+    "NULL_METRICS",
     "NaiveMonitor",
     "RTree",
     "RTreeMonitor",

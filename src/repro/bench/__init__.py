@@ -11,6 +11,7 @@ from repro.bench.config import (
     SCALE_FACTOR,
     ExperimentConfig,
 )
+from repro.bench.profile import ProfileReport, run_profile
 from repro.bench.runners import (
     ALGORITHMS,
     build_monitor,
@@ -32,6 +33,7 @@ __all__ = [
     "FIG10_EPSILONS",
     "FIG11_KS",
     "PAPER_DATASETS",
+    "ProfileReport",
     "SCALE_FACTOR",
     "build_monitor",
     "format_rows",
@@ -39,6 +41,7 @@ __all__ = [
     "run_ablation",
     "run_approx_sweep",
     "run_config",
+    "run_profile",
     "run_sweep",
     "run_topk_sweep",
     "series_from_rows",

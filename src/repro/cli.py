@@ -7,6 +7,7 @@ Subcommands mirror the paper's evaluation artefacts::
     maxrs-stream approx --epsilons 0,0.1,0.2
     maxrs-stream topk --ks 1,10,25
     maxrs-stream ablation
+    maxrs-stream profile --window 2000 --batches 10 --json metrics.json
 
 Every subcommand prints a plain-text table; ``--dataset`` accepts the
 four built-in workload names (see ``repro.datasets``).
@@ -26,10 +27,12 @@ from repro.bench import (
     run_ablation,
     run_approx_sweep,
     run_config,
+    run_profile,
     run_sweep,
     run_topk_sweep,
 )
 from repro.datasets import available_datasets
+from repro.obs import write_metrics_csv, write_metrics_json
 
 __all__ = ["main", "build_parser"]
 
@@ -136,6 +139,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated dataset names",
     )
 
+    p_profile = sub.add_parser(
+        "profile",
+        help="run a workload with metrics attached; print per-monitor "
+        "operation counters (cells visited, prunings, sweeps, ...)",
+    )
+    _add_common(p_profile)
+    p_profile.add_argument(
+        "--algorithms", default="naive,g2,ag2",
+        help="comma-separated subset of naive,g2,ag2",
+    )
+    p_profile.add_argument(
+        "--per-batch", action="store_true",
+        help="also print the per-batch counter-delta table",
+    )
+    p_profile.add_argument(
+        "--json", metavar="PATH",
+        help="write the full metrics document (timings, counters, "
+        "per-batch deltas) as JSON",
+    )
+    p_profile.add_argument(
+        "--csv", metavar="PATH",
+        help="write flat (monitor, kind, metric, value) rows as CSV",
+    )
+
     p_dataset = sub.add_parser(
         "dataset", help="dump a workload sample to CSV (x,y,weight,timestamp)"
     )
@@ -175,6 +202,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         cfg = _config(args)
         rows = run_ablation(cfg, _parse_list(args.datasets, str))
         print(format_rows(rows, title="Algorithm 5 ablation (mean ms)"))
+    elif args.command == "profile":
+        cfg = _config(args)
+        profile = run_profile(cfg, _parse_list(args.algorithms, str))
+        title = (
+            f"profile [{cfg.dataset}] window={cfg.window_size} "
+            f"rate={cfg.batch_size} batches={profile.report.batches} "
+            f"seed={cfg.seed}"
+        )
+        print(format_rows(profile.summary_rows(), title=title))
+        if args.per_batch:
+            print()
+            print(
+                format_rows(
+                    profile.per_batch_rows(), title="per-batch deltas"
+                )
+            )
+        if profile.report.source_exhausted:
+            print(
+                f"warning: source exhausted after {profile.report.batches} "
+                f"of {profile.report.requested_batches} batches"
+            )
+        if args.json:
+            write_metrics_json(args.json, profile.to_dict())
+            print(f"wrote metrics JSON to {args.json}")
+        if args.csv:
+            write_metrics_csv(args.csv, profile.report.metrics)
+            print(f"wrote metrics CSV to {args.csv}")
     elif args.command == "dataset":
         from repro.datasets import make_stream
         from repro.streams import write_csv

@@ -149,15 +149,19 @@ class AG2Monitor(MaxRSMonitor):
             cell = self._cells[key]
             if not self._may_beat(cell.cw):
                 if self.visit_order == "bound":
-                    self.stats.cells_pruned += len(order) - pos
+                    pruned = len(order) - pos
+                    self.stats.cells_pruned += pruned
+                    self.metrics.inc("cells_pruned", pruned)
                     break
                 self.stats.cells_pruned += 1
+                self.metrics.inc("cells_pruned")
                 continue
             self._overlap_computation(cell)
             if self._may_beat(cell.cw):
                 self._exact_weight_computation(key)
             else:
                 self.stats.cells_pruned += 1
+                self.metrics.inc("cells_pruned")
 
     # -- batch plumbing --------------------------------------------------------
 
@@ -231,13 +235,18 @@ class AG2Monitor(MaxRSMonitor):
         older overlapping vertices (Equation 3 grows their bounds), then
         re-derive the cell bound from all vertex bounds (Equation 4)."""
         self.stats.cells_visited += 1
+        metrics = self.metrics
+        metrics.inc("cells_visited")
         graph = cell.graph
         if cell.pending:
             for seq, wr in cell.pending:
                 self.stats.overlap_tests += len(graph)
-                graph.connect(wr, seq)
+                metrics.inc("overlap_tests", len(graph))
+                _, touched = graph.connect(wr, seq)
+                metrics.inc("edges_touched", len(touched))
             cell.pending.clear()
         cell.cw = cell.max_upper()
+        metrics.inc("upper_bound_recomputes")
 
     # -- Algorithm 4 -------------------------------------------------------------
 
@@ -248,6 +257,7 @@ class AG2Monitor(MaxRSMonitor):
         cell = self._cells[key]
         relax = 1.0 - self.epsilon
         tighten = self._tighten
+        metrics = self.metrics
         cw = 0.0
         for v in cell.graph.iter_vertices():
             rho = (
@@ -256,6 +266,7 @@ class AG2Monitor(MaxRSMonitor):
             if relax * v.upper > rho:
                 if tighten is not None and v.upper > v.space.weight:
                     v.upper = tighten(v, rho)
+                    metrics.inc("bound_tightenings")
                 if relax * v.upper > rho:
                     # sweep only when N(ri) changed since the last exact
                     # computation; otherwise `space` is already the exact
@@ -268,11 +279,14 @@ class AG2Monitor(MaxRSMonitor):
                         self._star_cell = key
                 else:
                     self.stats.vertices_pruned += 1
+                    metrics.inc("vertices_pruned")
             else:
                 self.stats.vertices_pruned += 1
+                metrics.inc("vertices_pruned")
             if v.upper > cw:
                 cw = v.upper
         cell.cw = cw
+        metrics.inc("upper_bound_recomputes")
 
     def _sweep_vertex(self, v: Vertex) -> None:
         v.space = local_plane_sweep(v.wr, v.neighbors)
@@ -280,6 +294,7 @@ class AG2Monitor(MaxRSMonitor):
         v.dirty = False
         v.swept_degree = len(v.neighbors)
         self.stats.local_sweeps += 1
+        self.metrics.inc("local_sweeps")
 
     # -- result --------------------------------------------------------------------
 

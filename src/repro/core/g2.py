@@ -79,6 +79,7 @@ class G2Monitor(MaxRSMonitor):
         # Windows expire strictly in arrival order, so the expired batch
         # is exactly the next len(expired) sequence numbers.
         self._expired_upto += len(delta.expired)
+        metrics = self.metrics
         dirty: list[tuple[_G2Cell, Vertex]] = []
         for obj in delta.arrived:
             seq = self._next_seq
@@ -90,8 +91,12 @@ class G2Monitor(MaxRSMonitor):
                     cell = _G2Cell()
                     self._cells[key] = cell
                 self._purge(cell)
+                self.stats.cells_visited += 1
+                metrics.inc("cells_visited")
                 self.stats.overlap_tests += len(cell.graph)
+                metrics.inc("overlap_tests", len(cell.graph))
                 vertex, touched = cell.graph.connect(wr, seq)
+                metrics.inc("edges_touched", len(touched))
                 cell.offer_best(vertex)
                 dirty.extend((cell, v) for v in touched)
         # Recompute si exactly — once — for every vertex whose N(ri)
@@ -104,6 +109,7 @@ class G2Monitor(MaxRSMonitor):
             v.space = local_plane_sweep(v.wr, v.neighbors)
             v.upper = v.space.weight
             self.stats.local_sweeps += 1
+            metrics.inc("local_sweeps")
             cell.offer_best(v)
 
     def _purge(self, cell: _G2Cell) -> None:
@@ -118,6 +124,7 @@ class G2Monitor(MaxRSMonitor):
         best: Vertex | None = None
         for key in list(self._cells):
             cell = self._cells[key]
+            self.metrics.inc("cells_scanned")
             self._purge(cell)
             if not cell.graph:
                 del self._cells[key]

@@ -85,7 +85,7 @@ class Rect:
     def __post_init__(self) -> None:
         if not (self.x1 <= self.x2 and self.y1 <= self.y2):
             raise InvalidGeometryError(
-                f"rect bounds inverted or NaN: "
+                "rect bounds inverted or NaN: "
                 f"[{self.x1}, {self.x2}] x [{self.y1}, {self.y2}]"
             )
         if not all(

@@ -23,6 +23,7 @@ from typing import Sequence
 from repro.core.objects import SpatialObject
 from repro.core.spaces import MaxRSResult
 from repro.errors import InvalidParameterError
+from repro.obs.metrics import NULL_METRICS, Metrics
 from repro.window.base import SlidingWindow, WindowUpdate
 
 __all__ = ["MonitorStats", "MaxRSMonitor"]
@@ -91,9 +92,23 @@ class MaxRSMonitor(ABC):
         self.rect_height = float(rect_height)
         self.window = window
         self.stats = MonitorStats()
+        # observability attachment point: a no-op registry until an
+        # engine (or caller) attaches a real one via attach_metrics()
+        self.metrics: Metrics = NULL_METRICS
         self._last_result = MaxRSResult()
 
     # -- public API ------------------------------------------------------
+
+    def attach_metrics(self, metrics: Metrics) -> None:
+        """Attach a metrics scope; the window gets a ``window`` child.
+
+        Instrumented hot paths emit into whatever registry is attached;
+        the default :data:`~repro.obs.metrics.NULL_METRICS` makes every
+        emission a no-op, so monitors built without observability pay
+        essentially nothing.
+        """
+        self.metrics = metrics
+        self.window.metrics = metrics.scope("window")
 
     def update(self, objects: Sequence[SpatialObject]) -> MaxRSResult:
         """Push a batch of newly generated objects; return the new answer.
@@ -115,19 +130,23 @@ class MaxRSMonitor(ABC):
         replay) should go through ``ingest``.
         """
         delta = self.window.push(objects)
-        self.stats.updates += 1
-        self.stats.objects_seen += len(delta.arrived)
+        self._account(delta)
         self._on_delta(delta)
 
     def apply(self, delta: WindowUpdate) -> MaxRSResult:
         """Consume an externally produced window delta (advanced use:
         several monitors sharing one window, or time-window
         ``advance_to`` expirations)."""
-        self.stats.updates += 1
-        self.stats.objects_seen += len(delta.arrived)
+        self._account(delta)
         self._on_delta(delta)
         self._last_result = self._compute_result(delta.tick)
         return self._last_result
+
+    def _account(self, delta: WindowUpdate) -> None:
+        self.stats.updates += 1
+        self.stats.objects_seen += len(delta.arrived)
+        self.metrics.inc("updates")
+        self.metrics.inc("objects_seen", len(delta.arrived))
 
     @property
     def result(self) -> MaxRSResult:

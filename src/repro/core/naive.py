@@ -55,6 +55,8 @@ class NaiveMonitor(MaxRSMonitor):
         if not rects:
             return MaxRSResult(tick=tick, window_size=0)
         self.stats.full_sweeps += 1
+        self.metrics.inc("full_sweeps")
+        self.metrics.inc("objects_swept", len(rects))
         if self.k == 1:
             region = plane_sweep_max(rects)
             return MaxRSResult.single(

@@ -82,6 +82,8 @@ class RTree:
             )
         self._root = _Node(leaf=True)
         self._size = 0
+        #: cumulative nodes popped by search_overlap (diagnostic)
+        self.nodes_expanded = 0
 
     def __len__(self) -> int:
         return self._size
@@ -191,10 +193,16 @@ class RTree:
     # -- search --------------------------------------------------------------
 
     def search_overlap(self, rect: Rect) -> Iterator[Hashable]:
-        """Keys of entries whose rectangles *strictly* overlap ``rect``."""
+        """Keys of entries whose rectangles *strictly* overlap ``rect``.
+
+        Every node popped during the traversal increments the
+        cumulative :attr:`nodes_expanded` diagnostic, which the R-tree
+        monitor turns into a per-update metric.
+        """
         stack = [self._root]
         while stack:
             node = stack.pop()
+            self.nodes_expanded += 1
             if node.leaf:
                 for entry_rect, key in node.entries:
                     assert isinstance(entry_rect, Rect)

@@ -57,6 +57,8 @@ class RTreeMonitor(MaxRSMonitor):
             if vertex is not None:
                 self._tree.delete(vertex.seq, vertex.wr.rect)
         dirty: list[Vertex] = []
+        metrics = self.metrics
+        nodes_before = self._tree.nodes_expanded
         for obj in delta.arrived:
             seq = self._next_seq
             self._next_seq += 1
@@ -72,16 +74,23 @@ class RTreeMonitor(MaxRSMonitor):
                     older.dirty = True
                     dirty.append(older)
                 self.stats.overlap_tests += 1
+                metrics.inc("overlap_tests")
+                metrics.inc("edges_touched")
             vertex = Vertex(wr, seq)
             self._vertices[seq] = vertex
             self._tree.insert(seq, wr.rect)
             heapq.heappush(self._heap, (-vertex.space.weight, seq))
+        metrics.inc(
+            "nodes_expanded", self._tree.nodes_expanded - nodes_before
+        )
         for vertex in dirty:
             vertex.dirty = False
             vertex.space = local_plane_sweep(vertex.wr, vertex.neighbors)
             vertex.upper = vertex.space.weight
             vertex.swept_degree = len(vertex.neighbors)
             self.stats.local_sweeps += 1
+            metrics.inc("local_sweeps")
+            metrics.inc("objects_swept", len(vertex.neighbors) + 1)
             heapq.heappush(self._heap, (-vertex.space.weight, vertex.seq))
         # compact the lazy heap once stale entries dominate, keeping
         # memory proportional to the live vertex count on long runs

@@ -178,7 +178,7 @@ class TopKAG2Monitor(AG2Monitor):
             )
         ]
 
-    # -- exact recomputation ------------------------------------------------------------
+    # -- exact recomputation ---------------------------------------------------
 
     def _exact_topk(
         self, key: CellKey, rho: float, candidates: _Candidates
@@ -205,7 +205,7 @@ class TopKAG2Monitor(AG2Monitor):
         cell.rebuild_top(self.k)
         return max(rho, self._kth_weight(candidates))
 
-    # -- result -------------------------------------------------------------------------
+    # -- result ----------------------------------------------------------------
 
     def _compute_result(self, tick: int) -> MaxRSResult:
         regions: list[Region] = [v.space for v in self._answer]

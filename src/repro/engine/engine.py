@@ -6,19 +6,28 @@ the sliding window (untimed priming), then push arrival batches of
 attached to one engine; they all observe identical batches, which is
 how the experiments compare naive / G2 / aG2 and how the approximation
 benchmark measures the practical error against an exact companion.
+
+When a :class:`~repro.obs.metrics.Metrics` registry is supplied, each
+monitor gets its own named scope (and a ``window`` child scope), the
+engine observes per-update latency into an ``update_ms`` histogram, and
+:class:`EngineReport` carries cumulative plus per-batch metric
+snapshots alongside the timings — the substrate of the ``profile`` CLI
+and the CI perf gate.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Sequence
 
 from repro.core.monitor import MaxRSMonitor
 from repro.core.objects import SpatialObject
 from repro.core.spaces import MaxRSResult
 from repro.engine.stats import TimingStats
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, StreamExhaustedWarning
+from repro.obs.metrics import Metrics, MetricsSnapshot
 from repro.streams.source import StreamSource
 
 __all__ = ["StreamEngine", "EngineReport"]
@@ -34,6 +43,15 @@ class EngineReport:
     final_results: Dict[str, MaxRSResult]
     # per-batch best weights, recorded when track_weights=True
     weight_history: Dict[str, list[float]] = field(default_factory=dict)
+    # batches asked for; batches < requested_batches ⇒ source ran dry
+    requested_batches: int = 0
+    source_exhausted: bool = False
+    # cumulative per-monitor snapshot at end of run (metrics runs only)
+    metrics: Dict[str, MetricsSnapshot] = field(default_factory=dict)
+    # per-batch snapshot deltas, aligned with the timed batches
+    batch_metrics: Dict[str, list[MetricsSnapshot]] = field(
+        default_factory=dict
+    )
 
     def mean_ms(self, name: str) -> float:
         return self.timings[name].mean_ms
@@ -49,6 +67,50 @@ class EngineReport:
             )
         return "\n".join(lines)
 
+    def counter_names(self) -> list[str]:
+        """Union of counter names across monitors, sorted."""
+        names: set[str] = set()
+        for snap in self.metrics.values():
+            names.update(snap.counters)
+        return sorted(names)
+
+    def metrics_table(self, counters: Sequence[str] | None = None) -> str:
+        """Per-monitor counter table (columns = counter names)."""
+        if not self.metrics:
+            return "(no metrics recorded — run with a Metrics registry)"
+        names = list(counters) if counters else self.counter_names()
+        widths = [max(len(n), 12) for n in names]
+        header = f"{'monitor':<16}" + "".join(
+            n.rjust(w + 2) for n, w in zip(names, widths)
+        )
+        lines = [header]
+        for monitor, snap in self.metrics.items():
+            cells = "".join(
+                f"{snap.counters.get(n, 0.0):>{w + 2}.0f}"
+                for n, w in zip(names, widths)
+            )
+            lines.append(f"{monitor:<16}{cells}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able document: timings summaries + metric snapshots."""
+        return {
+            "batches": self.batches,
+            "requested_batches": self.requested_batches,
+            "batch_size": self.batch_size,
+            "source_exhausted": self.source_exhausted,
+            "timings": {
+                name: stats.summary() for name, stats in self.timings.items()
+            },
+            "metrics": {
+                name: snap.to_dict() for name, snap in self.metrics.items()
+            },
+            "batch_metrics": {
+                name: [snap.to_dict() for snap in snaps]
+                for name, snaps in self.batch_metrics.items()
+            },
+        }
+
 
 class StreamEngine:
     """Drives one or more monitors from a single stream source.
@@ -58,6 +120,10 @@ class StreamEngine:
             batch, in mapping order.
         source: The object stream (consumed once per engine).
         batch_size: Arrival batch size ``m``.
+        metrics: Optional metrics registry.  When given, every monitor
+            is attached to ``metrics.scope(name)`` and reports carry
+            metric snapshots; when omitted, monitors keep their no-op
+            default and the engine adds zero observability overhead.
     """
 
     def __init__(
@@ -65,6 +131,7 @@ class StreamEngine:
         monitors: Dict[str, MaxRSMonitor],
         source: StreamSource | Iterator[SpatialObject],
         batch_size: int,
+        metrics: Metrics | None = None,
     ) -> None:
         if not monitors:
             raise InvalidParameterError("at least one monitor is required")
@@ -75,6 +142,13 @@ class StreamEngine:
         self.monitors = dict(monitors)
         self.batch_size = batch_size
         self._iterator = iter(source)
+        self.metrics = metrics
+        self._scopes: Dict[str, Metrics] = {}
+        if metrics is not None:
+            for name, monitor in self.monitors.items():
+                scope = metrics.scope(name)
+                monitor.attach_metrics(scope)
+                self._scopes[name] = scope
 
     def _next_batch(self, size: int) -> list[SpatialObject]:
         batch: list[SpatialObject] = []
@@ -84,9 +158,14 @@ class StreamEngine:
                 break
         return batch
 
-    def prime(self, count: int) -> None:
+    def prime(self, count: int) -> int:
         """Push ``count`` objects untimed — fills the window so the
-        timed phase measures steady-state update cost, as in §7."""
+        timed phase measures steady-state update cost, as in §7.
+
+        Returns the number of objects actually primed; when the source
+        runs dry early a :class:`StreamExhaustedWarning` is emitted so
+        the short fill cannot pass silently.
+        """
         if count < 0:
             raise InvalidParameterError(f"prime count must be >= 0, got {count}")
         # larger chunks keep bulk-loading cheap; window state after
@@ -96,15 +175,28 @@ class StreamEngine:
         while remaining > 0:
             batch = self._next_batch(min(chunk, remaining))
             if not batch:
+                warnings.warn(
+                    "stream exhausted while priming: got "
+                    f"{count - remaining} of {count} objects",
+                    StreamExhaustedWarning,
+                    stacklevel=2,
+                )
                 break
             for monitor in self.monitors.values():
                 monitor.ingest(batch)
             remaining -= len(batch)
+        return count - remaining
 
     def run(
         self, batches: int, track_weights: bool = False
     ) -> EngineReport:
-        """Push ``batches`` timed arrival batches through every monitor."""
+        """Push ``batches`` timed arrival batches through every monitor.
+
+        A source that runs dry mid-run stops the loop early; the report
+        flags it via ``source_exhausted`` (and a
+        :class:`StreamExhaustedWarning`) rather than silently returning
+        statistics over fewer batches than requested.
+        """
         if batches <= 0:
             raise InvalidParameterError(
                 f"batch count must be positive, got {batches}"
@@ -114,23 +206,54 @@ class StreamEngine:
             {name: [] for name in self.monitors} if track_weights else {}
         )
         final: Dict[str, MaxRSResult] = {}
+        observed = self.metrics is not None
+        previous: Dict[str, MetricsSnapshot] = {}
+        batch_metrics: Dict[str, list[MetricsSnapshot]] = {}
+        if observed:
+            previous = {
+                name: scope.snapshot() for name, scope in self._scopes.items()
+            }
+            batch_metrics = {name: [] for name in self.monitors}
         executed = 0
+        exhausted = False
         for _ in range(batches):
             batch = self._next_batch(self.batch_size)
             if not batch:
+                exhausted = True
                 break
             executed += 1
             for name, monitor in self.monitors.items():
                 start = time.perf_counter()
                 result = monitor.update(batch)
-                timings[name].record(time.perf_counter() - start)
+                elapsed = time.perf_counter() - start
+                timings[name].record(elapsed)
                 final[name] = result
                 if track_weights:
                     history[name].append(result.best_weight)
+                if observed:
+                    scope = self._scopes[name]
+                    scope.observe("update_ms", elapsed * 1000.0)
+                    snap = scope.snapshot()
+                    batch_metrics[name].append(snap.delta(previous[name]))
+                    previous[name] = snap
+        if exhausted:
+            warnings.warn(
+                f"stream exhausted after {executed} of {batches} batches",
+                StreamExhaustedWarning,
+                stacklevel=2,
+            )
         return EngineReport(
             batches=executed,
             batch_size=self.batch_size,
             timings=timings,
             final_results=final,
             weight_history=history,
+            requested_batches=batches,
+            source_exhausted=exhausted,
+            metrics=(
+                {name: scope.snapshot() for name, scope in self._scopes.items()}
+                if observed
+                else {}
+            ),
+            batch_metrics=batch_metrics,
         )

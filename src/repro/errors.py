@@ -35,3 +35,14 @@ class InvariantViolationError(ReproError):
     Raised only from explicit ``check_invariants()`` calls; production
     paths never pay for the verification.
     """
+
+
+class StreamExhaustedWarning(RuntimeWarning):
+    """A stream source ran dry before the requested work completed.
+
+    Emitted (never raised) by :class:`~repro.engine.engine.StreamEngine`
+    when ``prime()`` cannot fill the requested count or ``run()``
+    executes fewer batches than asked — benchmarks that silently run
+    short would otherwise report numbers for a workload that never
+    happened.
+    """

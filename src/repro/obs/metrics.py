@@ -1,0 +1,399 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+The paper's efficiency argument (§7) is carried by *internal* quantities
+— cells visited, branch-and-bound prunings, upper-bound recomputations —
+not only wall-clock time.  This module provides the substrate that makes
+those quantities first-class observables:
+
+* :class:`Counter` — monotone event count (``cells_visited``);
+* :class:`Gauge` — last-written level (``window_size``);
+* :class:`Histogram` — streaming distribution summary with optional
+  fixed buckets (``update_ms``);
+* :class:`Metrics` — a registry of the above under named scopes, so one
+  engine run owns a tree like ``g2.cells_visited`` /
+  ``g2.window.insertions``;
+* :data:`NULL_METRICS` — a no-op registry that instrumented code holds
+  by default, so a disabled monitor pays one dynamic dispatch per event
+  and allocates nothing.
+
+Snapshots are plain-data (:class:`MetricsSnapshot`) with flattened
+dotted names, which makes per-batch deltas, JSON export and CSV rows
+trivial downstream (see :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "MetricsSnapshot",
+    "NullMetrics",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """Monotone event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """Last-written level; unlike a counter it may move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Streaming distribution summary: count/sum/min/max (+ buckets).
+
+    Memory is O(1) (O(buckets) with buckets): no samples are retained,
+    so hot paths can observe every update without growth.  ``buckets``
+    are upper bounds of cumulative bins, Prometheus-style; observations
+    above the last bound land in the implicit ``+Inf`` bin.
+    """
+
+    __slots__ = ("name", "count", "total", "_min", "_max", "bounds", "bins")
+
+    def __init__(
+        self, name: str, buckets: Iterable[float] | None = None
+    ) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        if buckets is None:
+            self.bounds: tuple[float, ...] = ()
+            self.bins: list[int] = []
+        else:
+            bounds = tuple(float(b) for b in buckets)
+            if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+                raise InvalidParameterError(
+                    f"histogram {name!r} buckets must be strictly increasing"
+                )
+            self.bounds = bounds
+            self.bins = [0] * (len(bounds) + 1)  # last bin = +Inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self.bounds:
+            self.bins[bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        out = {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+        if self.bounds:
+            running = 0
+            for bound, n in zip(self.bounds, self.bins):
+                running += n
+                out[f"le_{bound:g}"] = float(running)
+            out["le_inf"] = float(self.count)
+        return out
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self.bins = [0] * len(self.bins)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time, plain-data view of a registry (dotted flat names)."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened between ``earlier`` and this snapshot.
+
+        Counters and histogram count/sum subtract; min/max/mean are not
+        recoverable from two cumulative summaries and are omitted;
+        gauges are levels, so the later value is kept as-is.
+        """
+        counters = {
+            name: value - earlier.counters.get(name, 0.0)
+            for name, value in self.counters.items()
+        }
+        histograms: Dict[str, Dict[str, float]] = {}
+        for name, summ in self.histograms.items():
+            prev = earlier.histograms.get(name, {})
+            histograms[name] = {
+                key: summ[key] - prev.get(key, 0.0)
+                for key in summ
+                if key not in ("min", "max", "mean")
+            }
+        return MetricsSnapshot(
+            counters=counters,
+            gauges=dict(self.gauges),
+            histograms=histograms,
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MetricsSnapshot":
+        histograms: Mapping[str, Mapping[str, float]]
+        histograms = data.get("histograms", {})  # type: ignore[assignment]
+        return cls(
+            counters=dict(data.get("counters", {})),  # type: ignore[arg-type]
+            gauges=dict(data.get("gauges", {})),  # type: ignore[arg-type]
+            histograms={k: dict(v) for k, v in histograms.items()},
+        )
+
+
+class Metrics:
+    """Registry of named instruments with named child scopes.
+
+    One registry belongs to one observed component; child scopes nest
+    components (``engine → monitor → window``).  Instruments are
+    get-or-create by name, so instrumentation sites never need set-up
+    code.  Snapshots flatten the tree into dotted names
+    (``window.insertions``).
+    """
+
+    __slots__ = ("namespace", "_counters", "_gauges", "_histograms", "_scopes")
+
+    def __init__(self, namespace: str = "") -> None:
+        self.namespace = namespace
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._scopes: Dict[str, Metrics] = {}
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def scope(self, name: str) -> "Metrics":
+        """Get-or-create the child scope ``name``."""
+        child = self._scopes.get(name)
+        if child is None:
+            child = Metrics(namespace=name)
+            self._scopes[name] = child
+        return child
+
+    def scopes(self) -> tuple[str, ...]:
+        return tuple(self._scopes)
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = Counter(name)
+            self._counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = Gauge(name)
+            self._gauges[name] = instrument
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] | None = None
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = Histogram(name, buckets=buckets)
+            self._histograms[name] = instrument
+        return instrument
+
+    # -- hot-path conveniences ---------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Flattened cumulative view of this registry and its scopes."""
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, float]] = {}
+        self._collect(counters, gauges, histograms, prefix="")
+        return MetricsSnapshot(
+            counters=counters, gauges=gauges, histograms=histograms
+        )
+
+    def _collect(
+        self,
+        counters: Dict[str, float],
+        gauges: Dict[str, float],
+        histograms: Dict[str, Dict[str, float]],
+        prefix: str,
+    ) -> None:
+        for name, c in self._counters.items():
+            counters[prefix + name] = c.value
+        for name, g in self._gauges.items():
+            gauges[prefix + name] = g.value
+        for name, h in self._histograms.items():
+            histograms[prefix + name] = h.summary()
+        for name, child in self._scopes.items():
+            child._collect(counters, gauges, histograms, f"{prefix}{name}.")
+
+    def reset(self) -> None:
+        """Zero every instrument, recursively; structure is kept."""
+        for c in self._counters.values():
+            c.reset()
+        for g in self._gauges.values():
+            g.reset()
+        for h in self._histograms.values():
+            h.reset()
+        for child in self._scopes.values():
+            child.reset()
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in for any instrument type."""
+
+    __slots__ = ()
+
+    name = "null"
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    minimum = 0.0
+    maximum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def summary(self) -> dict[str, float]:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics(Metrics):
+    """The disabled registry: every operation is a no-op.
+
+    Instrumented code holds :data:`NULL_METRICS` until something
+    attaches a real registry, so the disabled cost is a single method
+    call per event — no branches at instrumentation sites, no state.
+    """
+
+    __slots__ = ()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def scope(self, name: str) -> "Metrics":
+        return self
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] | None = None
+    ) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+#: Module-level singleton every instrumented component defaults to.
+NULL_METRICS = NullMetrics()

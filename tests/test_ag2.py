@@ -71,7 +71,10 @@ class TestAG2Basics:
         their cell bound matters."""
         m = mk(capacity=100, cell_size=20.0)
         # a heavy pair establishes a high threshold
-        m.update([SpatialObject(x=5, y=5, weight=50), SpatialObject(x=6, y=6, weight=50)])
+        m.update([
+            SpatialObject(x=5, y=5, weight=50),
+            SpatialObject(x=6, y=6, weight=50),
+        ])
         # light lone arrivals elsewhere should be prunable
         m.update([SpatialObject(x=500, y=500, weight=1)])
         assert m.result.best_weight == 100.0

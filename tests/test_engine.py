@@ -2,12 +2,20 @@
 
 from __future__ import annotations
 
+import json
+import warnings
+
 import pytest
 
 from repro.core.ag2 import AG2Monitor
 from repro.core.naive import NaiveMonitor
 from repro.engine import StreamEngine, TimingStats
-from repro.errors import EmptyWindowError, InvalidParameterError
+from repro.errors import (
+    EmptyWindowError,
+    InvalidParameterError,
+    StreamExhaustedWarning,
+)
+from repro.obs import Metrics, snapshots_from_dict
 from repro.streams import UniformStream
 from repro.window import CountWindow
 
@@ -111,7 +119,8 @@ class TestStreamEngine:
         mons = {"m": NaiveMonitor(5, 5, CountWindow(10))}
         finite = iter(UniformStream(domain=50.0, seed=2).take(15))
         e = StreamEngine(mons, finite, batch_size=10)
-        report = e.run(5)
+        with pytest.warns(StreamExhaustedWarning):
+            report = e.run(5)
         assert report.batches == 2  # 10 + 5, then exhausted
 
     def test_report_table_renders(self):
@@ -127,3 +136,107 @@ class TestStreamEngine:
     def test_prime_validation(self):
         with pytest.raises(InvalidParameterError):
             engine().prime(-1)
+
+
+class TestSourceExhaustion:
+    """A dry source must be surfaced, not silently absorbed (both paths)."""
+
+    def _finite_engine(self, objects, batch_size=10):
+        mons = {"m": NaiveMonitor(5, 5, CountWindow(50))}
+        finite = iter(UniformStream(domain=50.0, seed=2).take(objects))
+        return StreamEngine(mons, finite, batch_size=batch_size)
+
+    def test_prime_short_fill_warns_and_reports_count(self):
+        e = self._finite_engine(12)
+        with pytest.warns(StreamExhaustedWarning, match="12 of 40"):
+            primed = e.prime(40)
+        assert primed == 12
+        assert len(e.monitors["m"].window) == 12
+
+    def test_prime_full_fill_is_silent(self):
+        e = self._finite_engine(30)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", StreamExhaustedWarning)
+            assert e.prime(20) == 20
+
+    def test_run_exhaustion_sets_flag_and_warns(self):
+        e = self._finite_engine(25)
+        # 10 + 10 + a final partial batch of 5, then the source is dry
+        with pytest.warns(StreamExhaustedWarning, match="3 of 5"):
+            report = e.run(5)
+        assert report.source_exhausted
+        assert report.batches == 3
+        assert report.requested_batches == 5
+
+    def test_full_run_is_not_flagged(self):
+        e = self._finite_engine(100)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", StreamExhaustedWarning)
+            report = e.run(3)
+        assert not report.source_exhausted
+        assert report.batches == report.requested_batches == 3
+
+
+class TestEngineMetrics:
+    """Metrics wiring: scopes, per-batch deltas, export round-trip."""
+
+    def _observed_engine(self):
+        mons = {
+            "ag2": AG2Monitor(20, 20, CountWindow(40)),
+            "naive": NaiveMonitor(20, 20, CountWindow(40)),
+        }
+        registry = Metrics()
+        e = StreamEngine(
+            mons, UniformStream(domain=200.0, seed=3), 10, metrics=registry
+        )
+        return e, registry
+
+    def test_report_carries_snapshots_per_monitor(self):
+        e, _ = self._observed_engine()
+        e.prime(40)
+        report = e.run(3)
+        assert set(report.metrics) == {"ag2", "naive"}
+        # priming is one (untimed) ingest, then 3 timed updates
+        assert report.metrics["ag2"].counters["updates"] == 4
+        assert report.metrics["ag2"].counters["window.insertions"] == 70
+
+    def test_update_ms_histogram_matches_batches(self):
+        e, _ = self._observed_engine()
+        report = e.run(4)
+        for name in ("ag2", "naive"):
+            assert report.metrics[name].histograms["update_ms"]["count"] == 4
+
+    def test_batch_metrics_are_deltas(self):
+        e, _ = self._observed_engine()
+        e.prime(40)
+        report = e.run(3)
+        deltas = report.batch_metrics["naive"]
+        assert len(deltas) == 3
+        for snap in deltas:
+            assert snap.counters["updates"] == 1
+            assert snap.counters["full_sweeps"] == 1
+        total = sum(s.counters["objects_swept"] for s in deltas)
+        assert total == report.metrics["naive"].counters["objects_swept"]
+
+    def test_without_registry_report_has_no_metrics(self):
+        report = engine().run(2)
+        assert report.metrics == {}
+        assert report.batch_metrics == {}
+        assert "no metrics recorded" in report.metrics_table()
+
+    def test_to_dict_round_trip(self):
+        e, _ = self._observed_engine()
+        report = e.run(2)
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["batches"] == 2
+        assert not doc["source_exhausted"]
+        rebuilt = snapshots_from_dict(doc["metrics"])
+        assert rebuilt == report.metrics
+        assert len(doc["batch_metrics"]["ag2"]) == 2
+
+    def test_metrics_table_renders_counters(self):
+        e, _ = self._observed_engine()
+        report = e.run(2)
+        text = report.metrics_table(["updates", "cells_visited"])
+        assert "updates" in text and "ag2" in text and "naive" in text
+        assert "cells_visited" in report.counter_names()

@@ -71,7 +71,10 @@ class TestG2Basics:
         heavy = [SpatialObject(x=5, y=5, weight=9), SpatialObject(x=6, y=6, weight=9)]
         m.update(heavy)
         assert m.result.best_weight == 18.0
-        light = [SpatialObject(x=80, y=80, weight=1), SpatialObject(x=81, y=81, weight=1)]
+        light = [
+            SpatialObject(x=80, y=80, weight=1),
+            SpatialObject(x=81, y=81, weight=1),
+        ]
         result = m.update(light)
         assert result.best_weight == 2.0
 
