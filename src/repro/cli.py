@@ -8,6 +8,7 @@ Subcommands mirror the paper's evaluation artefacts::
     maxrs-stream topk --ks 1,10,25
     maxrs-stream ablation
     maxrs-stream profile --window 2000 --batches 10 --json metrics.json
+    maxrs-stream chaos --batches 200 --policy quarantine
 
 Every subcommand prints a plain-text table; ``--dataset`` accepts the
 four built-in workload names (see ``repro.datasets``).
@@ -163,6 +164,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="write flat (monitor, kind, metric, value) rows as CSV",
     )
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="chaos soak: drive a supervised aG2 monitor through a "
+        "fault-injecting stream (drops, duplicates, corruption, late "
+        "arrivals) and verify the result against a naive recompute; "
+        "exits non-zero on divergence or accounting mismatch",
+    )
+    _add_common(p_chaos)
+    p_chaos.add_argument(
+        "--policy", default="quarantine", choices=("raise", "skip", "quarantine"),
+        help="ingest error policy (default: %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--p-drop", type=float, default=0.02,
+        help="per-record drop probability (default: %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--p-duplicate", type=float, default=0.02,
+        help="per-record duplication probability (default: %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--p-corrupt", type=float, default=0.02,
+        help="per-record corruption probability (default: %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--p-delay", type=float, default=0.05,
+        help="per-record delay probability (default: %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--max-delay", type=int, default=3,
+        help="maximum hold-back in stream positions (default: %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--max-lateness", type=float, default=None,
+        help="reorder-buffer lateness bound in timestamp units "
+        "(default: 2 * max-delay)",
+    )
+    p_chaos.add_argument(
+        "--probe-every", type=int, default=50,
+        help="run check_invariants() every N updates; 0 disables "
+        "(default: %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="also take atomic checkpoints to PATH during the soak",
+    )
+    p_chaos.add_argument(
+        "--checkpoint-every", type=int, default=50,
+        help="checkpoint period in batches (default: %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--json", metavar="PATH", help="write the chaos report as JSON"
+    )
+
     p_dataset = sub.add_parser(
         "dataset", help="dump a workload sample to CSV (x,y,weight,timestamp)"
     )
@@ -229,6 +284,48 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.csv:
             write_metrics_csv(args.csv, profile.report.metrics)
             print(f"wrote metrics CSV to {args.csv}")
+    elif args.command == "chaos":
+        from repro.resilience import run_chaos
+
+        chaos_report = run_chaos(
+            args.dataset,
+            window=args.window,
+            rate=args.rate,
+            batches=args.batches,
+            side=args.side,
+            domain=args.domain,
+            seed=args.seed,
+            policy=args.policy,
+            p_drop=args.p_drop,
+            p_duplicate=args.p_duplicate,
+            p_corrupt=args.p_corrupt,
+            p_delay=args.p_delay,
+            max_delay=args.max_delay,
+            max_lateness=args.max_lateness,
+            probe_every=args.probe_every,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
+        title = (
+            f"chaos soak [{args.dataset}] window={args.window} "
+            f"rate={args.rate} batches={chaos_report.engine_report.batches} "
+            f"seed={args.seed} policy={args.policy}"
+        )
+        print(format_rows(chaos_report.rows(), title=title))
+        if args.json:
+            write_metrics_json(args.json, chaos_report.to_dict())
+            print(f"wrote chaos report JSON to {args.json}")
+        if not chaos_report.result_verified:
+            print(
+                "FAIL: supervised result diverges from naive recompute "
+                f"({chaos_report.supervised_weight} != "
+                f"{chaos_report.naive_weight})"
+            )
+            return 1
+        if not chaos_report.accounted:
+            print("FAIL: ingest accounting does not close")
+            return 1
+        print("OK: survived chaos; result verified, accounting closed")
     elif args.command == "dataset":
         from repro.datasets import make_stream
         from repro.streams import write_csv

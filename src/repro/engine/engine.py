@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, Sequence
 
 from repro.core.monitor import MaxRSMonitor
 from repro.core.objects import SpatialObject
@@ -29,6 +29,9 @@ from repro.engine.stats import TimingStats
 from repro.errors import InvalidParameterError, StreamExhaustedWarning
 from repro.obs.metrics import Metrics, MetricsSnapshot
 from repro.streams.source import StreamSource
+
+if TYPE_CHECKING:  # resilience imports engine back; keep runtime lazy
+    from repro.resilience.checkpoint import CheckpointManager
 
 __all__ = ["StreamEngine", "EngineReport"]
 
@@ -124,6 +127,17 @@ class StreamEngine:
             is attached to ``metrics.scope(name)`` and reports carry
             metric snapshots; when omitted, monitors keep their no-op
             default and the engine adds zero observability overhead.
+        checkpoint: Optional
+            :class:`~repro.resilience.checkpoint.CheckpointManager`;
+            notified after every successfully applied timed batch, so
+            periodic checkpoints align with the engine's batch count
+            (the position replayed on recovery).
+
+    An :class:`~repro.resilience.guard.IngestGuard` passed as the
+    ``source`` is wired in automatically: with metrics enabled it gets
+    the ``ingest`` scope, so ``records_quarantined`` / ``late_dropped``
+    / ``late_reordered`` and dead-letter depth show up in the report
+    next to the per-monitor counters.
     """
 
     def __init__(
@@ -132,6 +146,7 @@ class StreamEngine:
         source: StreamSource | Iterator[SpatialObject],
         batch_size: int,
         metrics: Metrics | None = None,
+        checkpoint: "CheckpointManager | None" = None,
     ) -> None:
         if not monitors:
             raise InvalidParameterError("at least one monitor is required")
@@ -143,12 +158,19 @@ class StreamEngine:
         self.batch_size = batch_size
         self._iterator = iter(source)
         self.metrics = metrics
+        self.checkpoint = checkpoint
         self._scopes: Dict[str, Metrics] = {}
         if metrics is not None:
             for name, monitor in self.monitors.items():
                 scope = metrics.scope(name)
                 monitor.attach_metrics(scope)
                 self._scopes[name] = scope
+            from repro.resilience.guard import IngestGuard
+
+            if isinstance(source, IngestGuard):
+                scope = metrics.scope("ingest")
+                source.attach_metrics(scope)
+                self._scopes["ingest"] = scope
 
     def _next_batch(self, size: int) -> list[SpatialObject]:
         batch: list[SpatialObject] = []
@@ -236,6 +258,8 @@ class StreamEngine:
                     snap = scope.snapshot()
                     batch_metrics[name].append(snap.delta(previous[name]))
                     previous[name] = snap
+            if self.checkpoint is not None:
+                self.checkpoint.note_batch()
         if exhausted:
             warnings.warn(
                 f"stream exhausted after {executed} of {batches} batches",

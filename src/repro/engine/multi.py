@@ -18,6 +18,7 @@ from repro.core.monitor import MaxRSMonitor
 from repro.core.objects import SpatialObject
 from repro.core.spaces import MaxRSResult
 from repro.errors import InvalidParameterError
+from repro.resilience.guard import IngestGuard
 
 __all__ = ["MultiQueryGroup"]
 
@@ -32,10 +33,16 @@ class MultiQueryGroup:
         group.add("fine", AG2Monitor(500, 500, CountWindow(50_000)))
         for batch in stream:
             results = group.update(batch)      # {"coarse": ..., "fine": ...}
+
+    A serving deployment fronts the group with an
+    :class:`~repro.resilience.guard.IngestGuard` so one corrupt or late
+    record cannot take down every registered query: pass ``guard=`` and
+    feed raw batches through :meth:`update_guarded`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, guard: IngestGuard | None = None) -> None:
         self._monitors: Dict[str, MaxRSMonitor] = {}
+        self.guard = guard
 
     # -- registry -----------------------------------------------------------
 
@@ -98,6 +105,24 @@ class MultiQueryGroup:
             name: monitor.update(batch)
             for name, monitor in self._monitors.items()
         }
+
+    def update_guarded(
+        self, records: Sequence[object]
+    ) -> Dict[str, MaxRSResult]:
+        """Push one *raw* arrival batch through the ingest guard first.
+
+        Invalid records are handled per the guard's error policy
+        (quarantined / skipped / raised) and out-of-order records are
+        re-sequenced within its lateness bound, so every registered
+        query sees the same clean, ordered batch — possibly empty, in
+        which case windows still tick and answers refresh.
+        """
+        if self.guard is None:
+            raise InvalidParameterError(
+                "no ingest guard configured; construct the group with "
+                "MultiQueryGroup(guard=IngestGuard(...))"
+            )
+        return self.update(self.guard.filter(records))
 
     def results(self) -> Dict[str, MaxRSResult]:
         """Most recent answer per query without pushing anything."""

@@ -37,6 +37,49 @@ class InvariantViolationError(ReproError):
     """
 
 
+class SnapshotError(ReproError):
+    """A persisted snapshot or checkpoint is unreadable.
+
+    Raised when a snapshot file is truncated, is not valid JSON, is
+    missing required fields, or carries an unknown format version —
+    recovery code can catch this one class and fall back to an older
+    checkpoint (or a cold start) instead of dying on ``KeyError`` /
+    ``JSONDecodeError``.
+    """
+
+
+class QuarantineError(ReproError):
+    """A record was rejected at the ingest boundary under ``RAISE`` policy.
+
+    Carries the offending record and the rejection reason so callers
+    that opted into fail-fast ingestion see exactly what was refused.
+    """
+
+    def __init__(self, reason: str, record: object = None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.record = record
+
+
+class SourceRetryExhaustedError(ReproError):
+    """A transient-failure retry loop ran out of attempts.
+
+    Raised by :class:`~repro.resilience.supervisor.RetryingSource` when
+    the wrapped source keeps failing past ``max_retries``; the last
+    underlying exception is chained as ``__cause__``.
+    """
+
+
+class UnrecoverableMonitorError(ReproError):
+    """A supervised monitor failed and could not be healed.
+
+    Raised by :class:`~repro.resilience.supervisor.MonitorSupervisor`
+    when rebuilding from the surviving window also fails, or the heal
+    budget (``max_heals``) is exhausted.  The original failure is
+    chained as ``__cause__``.
+    """
+
+
 class StreamExhaustedWarning(RuntimeWarning):
     """A stream source ran dry before the requested work completed.
 

@@ -22,6 +22,8 @@ Example::
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -31,10 +33,17 @@ from repro.core.monitor import MaxRSMonitor
 from repro.core.naive import NaiveMonitor
 from repro.core.objects import SpatialObject
 from repro.core.topk import TopKAG2Monitor
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, SnapshotError
 from repro.window import CountWindow, SlidingWindow, TimeWindow
 
-__all__ = ["snapshot", "restore", "save_json", "load_json"]
+__all__ = [
+    "snapshot",
+    "restore",
+    "save_json",
+    "load_json",
+    "atomic_write_json",
+    "read_json",
+]
 
 _FORMAT_VERSION = 1
 
@@ -115,7 +124,19 @@ def snapshot(monitor: MaxRSMonitor) -> dict[str, Any]:
 
 
 def restore(state: dict[str, Any]) -> MaxRSMonitor:
-    """Rebuild a monitor from a snapshot and replay its window."""
+    """Rebuild a monitor from a snapshot and replay its window.
+
+    Unknown format versions and unknown monitor/window kinds raise
+    :class:`InvalidParameterError`; a structurally damaged snapshot
+    (missing fields, wrong field types) raises :class:`SnapshotError`
+    rather than leaking ``KeyError``/``TypeError`` — both are
+    :class:`~repro.errors.ReproError`, so recovery code has one thing
+    to catch.
+    """
+    if not isinstance(state, dict):
+        raise SnapshotError(
+            f"snapshot must be a JSON object, got {type(state).__name__}"
+        )
     if state.get("format") != _FORMAT_VERSION:
         raise InvalidParameterError(
             f"unsupported snapshot format {state.get('format')!r}"
@@ -124,36 +145,74 @@ def restore(state: dict[str, Any]) -> MaxRSMonitor:
     cls = _MONITOR_KINDS.get(kind)  # type: ignore[arg-type]
     if cls is None:
         raise InvalidParameterError(f"unknown monitor kind {kind!r}")
-    window = _window_from_spec(state["window"])
-    extra = dict(state.get("extra", {}))
-    monitor = cls(
-        state["rect_width"], state["rect_height"], window, **extra
-    )
-    objects = [
-        SpatialObject(
-            x=rec["x"],
-            y=rec["y"],
-            weight=rec["weight"],
-            timestamp=rec["timestamp"],
-            oid=int(rec["oid"]),
+    try:
+        window = _window_from_spec(state["window"])
+        extra = dict(state.get("extra", {}))
+        monitor = cls(
+            state["rect_width"], state["rect_height"], window, **extra
         )
-        for rec in state.get("objects", [])
-    ]
+        objects = [
+            SpatialObject(
+                x=rec["x"],
+                y=rec["y"],
+                weight=rec["weight"],
+                timestamp=rec["timestamp"],
+                oid=int(rec["oid"]),
+            )
+            for rec in state.get("objects", [])
+        ]
+    except (KeyError, TypeError) as exc:
+        raise SnapshotError(f"snapshot is missing or malformed: {exc!r}") from exc
     if objects:
         monitor.ingest(objects)
     return monitor
 
 
+def atomic_write_json(path: str | Path, document: Any) -> None:
+    """Serialise ``document`` to ``path`` atomically.
+
+    The JSON is written to a temporary file in the same directory,
+    flushed and fsynced, then moved into place with :func:`os.replace`
+    — readers (and crash recovery) see either the old complete file or
+    the new complete file, never a truncated intermediate.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent or Path("."), prefix=target.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(document, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path: str | Path) -> Any:
+    """Load a JSON document, mapping corruption to :class:`SnapshotError`."""
+    file = Path(path)
+    if not file.exists():
+        raise InvalidParameterError(f"no such snapshot file: {file}")
+    try:
+        with file.open() as fh:
+            return json.load(fh)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SnapshotError(
+            f"snapshot file {file} is truncated or not valid JSON: {exc}"
+        ) from exc
+
+
 def save_json(monitor: MaxRSMonitor, path: str | Path) -> None:
-    """Snapshot a monitor straight to a JSON file."""
-    with Path(path).open("w") as fh:
-        json.dump(snapshot(monitor), fh)
+    """Snapshot a monitor straight to a JSON file (atomically)."""
+    atomic_write_json(path, snapshot(monitor))
 
 
 def load_json(path: str | Path) -> MaxRSMonitor:
     """Restore a monitor from a JSON snapshot file."""
-    file = Path(path)
-    if not file.exists():
-        raise InvalidParameterError(f"no such snapshot file: {file}")
-    with file.open() as fh:
-        return restore(json.load(fh))
+    return restore(read_json(path))

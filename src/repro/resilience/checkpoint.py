@@ -1,0 +1,183 @@
+"""Atomic periodic checkpoints with load-last + replay-tail recovery.
+
+A checkpoint is a :mod:`repro.persist` snapshot plus a *stream
+position* (how many arrival batches had been consumed when it was
+taken).  Recovery is then exactly two steps:
+
+1. load the last complete checkpoint (:func:`CheckpointManager.load`) —
+   atomic writes guarantee the file on disk is always a complete
+   document, never a torn write;
+2. replay the tail: re-feed the batches after the recorded position
+   (stream sources in this library are deterministic and replayable),
+   which reproduces the uninterrupted run bit-for-bit because the
+   indexes are pure functions of the arrival sequence.
+
+The manager also keeps a bounded history of previous checkpoints
+(``keep``), so a checkpoint corrupted *after* being written (disk
+fault) still leaves an older recovery point behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro import persist
+from repro.core.monitor import MaxRSMonitor
+from repro.errors import InvalidParameterError, SnapshotError
+from repro.obs.metrics import NULL_METRICS, Metrics
+
+__all__ = ["CheckpointManager"]
+
+_CHECKPOINT_FORMAT = 1
+
+
+def _snapshot_target(monitor: Any) -> MaxRSMonitor:
+    """Unwrap a MonitorSupervisor (or anything exposing ``.monitor``)."""
+    inner = getattr(monitor, "monitor", None)
+    return inner if isinstance(inner, MaxRSMonitor) else monitor
+
+
+class CheckpointManager:
+    """Periodic atomic snapshots of one monitor (or its supervisor).
+
+    Args:
+        monitor: Monitor to checkpoint; a
+            :class:`~repro.resilience.supervisor.MonitorSupervisor` is
+            unwrapped automatically.
+        path: Checkpoint file.  Rotated history lives next to it as
+            ``<name>.1``, ``<name>.2``, … (most recent first).
+        every: Take a checkpoint each time this many batches have been
+            noted (0 disables automatic checkpointing; :meth:`checkpoint`
+            still works on demand).
+        keep: How many *previous* checkpoints to retain besides the
+            current one.
+        metrics: Scope for ``checkpoints_written`` / ``recoveries``
+            counters and the ``checkpoint_batch_index`` gauge.
+    """
+
+    def __init__(
+        self,
+        monitor: Any,
+        path: str | Path,
+        *,
+        every: int = 0,
+        keep: int = 1,
+        metrics: Metrics = NULL_METRICS,
+    ) -> None:
+        if every < 0:
+            raise InvalidParameterError(f"every must be >= 0, got {every}")
+        if keep < 0:
+            raise InvalidParameterError(f"keep must be >= 0, got {keep}")
+        self._monitor = monitor
+        self.path = Path(path)
+        self.every = every
+        self.keep = keep
+        self.metrics = metrics
+        self.batch_index = 0  # arrival batches consumed so far
+        self.checkpoints_written = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def note_batch(self) -> bool:
+        """Record one consumed batch; checkpoint when the period elapses.
+
+        Returns True when a checkpoint was written for this batch —
+        the engine calls this after every successfully applied batch.
+        """
+        self.batch_index += 1
+        if self.every and self.batch_index % self.every == 0:
+            self.checkpoint()
+            return True
+        return False
+
+    def checkpoint(self) -> Path:
+        """Write the current state atomically, rotating history."""
+        document = {
+            "format": _CHECKPOINT_FORMAT,
+            "batch_index": self.batch_index,
+            "state": persist.snapshot(_snapshot_target(self._monitor)),
+        }
+        self._rotate()
+        persist.atomic_write_json(self.path, document)
+        self.checkpoints_written += 1
+        self.metrics.inc("checkpoints_written")
+        self.metrics.set_gauge("checkpoint_batch_index", self.batch_index)
+        return self.path
+
+    def _rotate(self) -> None:
+        if self.keep <= 0 or not self.path.exists():
+            return
+        # shift <name>.(keep-1) ... <name>.1 up one slot, then current → .1
+        oldest = self.path.with_name(f"{self.path.name}.{self.keep}")
+        if oldest.exists():
+            oldest.unlink()
+        for slot in range(self.keep - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{slot}")
+            if src.exists():
+                src.replace(self.path.with_name(f"{self.path.name}.{slot + 1}"))
+        self.path.replace(self.path.with_name(f"{self.path.name}.1"))
+
+    # -- recovery ----------------------------------------------------------
+
+    @staticmethod
+    def load(path: str | Path) -> tuple[MaxRSMonitor, int]:
+        """Rebuild ``(monitor, batch_index)`` from one checkpoint file.
+
+        Truncated files, non-JSON content, unknown format versions and
+        missing fields all raise a :class:`~repro.errors.ReproError`
+        subclass (:class:`SnapshotError` / ``InvalidParameterError``),
+        never a bare ``KeyError``/``JSONDecodeError``.
+        """
+        document = persist.read_json(path)
+        if not isinstance(document, dict):
+            raise SnapshotError(f"checkpoint {path} is not a JSON object")
+        if document.get("format") != _CHECKPOINT_FORMAT:
+            raise SnapshotError(
+                f"unsupported checkpoint format "
+                f"{document.get('format')!r} in {path}"
+            )
+        if "state" not in document or "batch_index" not in document:
+            raise SnapshotError(f"checkpoint {path} is missing fields")
+        monitor = persist.restore(document["state"])
+        return monitor, int(document["batch_index"])
+
+    @classmethod
+    def recover(
+        cls, path: str | Path, *, metrics: Metrics = NULL_METRICS
+    ) -> tuple[MaxRSMonitor, int]:
+        """Load the newest readable checkpoint, falling back through
+        the rotated history when the current file is damaged.
+
+        Raises :class:`SnapshotError` when no retained checkpoint is
+        readable.
+        """
+        primary = Path(path)
+        candidates = [primary]
+        slot = 1
+        while True:
+            rotated = primary.with_name(f"{primary.name}.{slot}")
+            if not rotated.exists():
+                break
+            candidates.append(rotated)
+            slot += 1
+        last_error: Exception | None = None
+        for candidate in candidates:
+            if not candidate.exists():
+                continue
+            try:
+                monitor, batch_index = cls.load(candidate)
+            except (SnapshotError, InvalidParameterError) as exc:
+                last_error = exc
+                continue
+            metrics.inc("recoveries")
+            return monitor, batch_index
+        raise SnapshotError(
+            f"no readable checkpoint at {primary}"
+            + (f" (last error: {last_error})" if last_error else "")
+        )
+
+    def resume(self, monitor: Any, batch_index: int) -> None:
+        """Rebind the manager after recovery so periods keep aligning."""
+        self._monitor = monitor
+        self.batch_index = int(batch_index)

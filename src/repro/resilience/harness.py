@@ -1,0 +1,253 @@
+"""Chaos soak harness: drive a supervised monitor through injected faults.
+
+:func:`run_chaos` assembles the full fault-tolerant pipeline —
+
+    dataset stream → FaultInjectingSource → IngestGuard → StreamEngine
+                                                        → MonitorSupervisor(aG2)
+
+— runs it for a configured number of batches, then closes the loop
+with two independent checks:
+
+* **correctness**: the supervised monitor's final answer must equal a
+  fresh :class:`NaiveMonitor` plane-sweep recomputation over the
+  surviving window contents (aG2 with ``ε = 0`` is exact, so the
+  weights must agree to float tolerance);
+* **accounting**: every record offered to the guard is either admitted,
+  rejected (and, under QUARANTINE, present in the dead-letter totals),
+  or still parked in the reorder buffer — nothing vanishes.
+
+The CLI subcommand ``maxrs-stream chaos`` and the CI chaos smoke job
+are thin wrappers over this function; its report is plain data so the
+soak can also be asserted in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.ag2 import AG2Monitor
+from repro.core.naive import NaiveMonitor
+from repro.datasets import make_stream
+from repro.engine.engine import EngineReport, StreamEngine
+from repro.obs.metrics import Metrics
+from repro.resilience.chaos import FaultInjectingSource
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.dlq import ErrorPolicy
+from repro.resilience.guard import IngestGuard
+from repro.resilience.supervisor import MonitorSupervisor
+from repro.window import CountWindow
+
+__all__ = ["ChaosReport", "run_chaos"]
+
+_WEIGHT_TOL = 1e-6
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos soak observed, plus the two verdicts."""
+
+    engine_report: EngineReport
+    supervised_weight: float
+    naive_weight: float
+    window_size: int
+    # fault injection tallies
+    injected_drops: int
+    injected_duplicates: int
+    injected_corrupt: int
+    injected_delayed: int
+    # guard tallies
+    offered: int
+    admitted: int
+    quarantined: int
+    skipped: int
+    late_dropped: int
+    late_reordered: int
+    reorder_pending: int
+    dead_letters: int
+    dead_letters_by_reason: dict[str, int] = field(default_factory=dict)
+    # supervisor tallies
+    monitor_failures: int = 0
+    invariant_failures: int = 0
+    heals: int = 0
+    batches_rejected: int = 0
+    checkpoints_written: int = 0
+    policy: ErrorPolicy = ErrorPolicy.QUARANTINE
+
+    @property
+    def result_verified(self) -> bool:
+        """Supervised answer equals the naive recompute over survivors."""
+        scale = max(1.0, abs(self.naive_weight))
+        return abs(self.supervised_weight - self.naive_weight) <= (
+            _WEIGHT_TOL * scale
+        )
+
+    @property
+    def accounted(self) -> bool:
+        """No record unaccounted for at the boundary."""
+        conserved = self.offered == (
+            self.admitted
+            + self.quarantined
+            + self.skipped
+            + self.late_dropped
+            + self.reorder_pending
+        )
+        if self.policy is ErrorPolicy.QUARANTINE:
+            # under QUARANTINE every reject must land in the DLQ totals
+            dlq_complete = (
+                self.dead_letters == self.quarantined + self.late_dropped
+            )
+        else:
+            dlq_complete = self.dead_letters == 0
+        return conserved and dlq_complete
+
+    @property
+    def ok(self) -> bool:
+        return self.result_verified and self.accounted
+
+    def rows(self) -> list[dict[str, object]]:
+        """(quantity, value) rows for the CLI table."""
+        pairs = [
+            ("batches run", self.engine_report.batches),
+            ("final window size", self.window_size),
+            ("supervised weight", f"{self.supervised_weight:.6f}"),
+            ("naive recompute weight", f"{self.naive_weight:.6f}"),
+            ("injected drops", self.injected_drops),
+            ("injected duplicates", self.injected_duplicates),
+            ("injected corrupt", self.injected_corrupt),
+            ("injected delayed", self.injected_delayed),
+            ("records offered", self.offered),
+            ("records admitted", self.admitted),
+            ("records quarantined", self.quarantined),
+            ("records skipped", self.skipped),
+            ("late dropped", self.late_dropped),
+            ("late reordered", self.late_reordered),
+            ("reorder pending", self.reorder_pending),
+            ("dead letters", self.dead_letters),
+            ("monitor failures", self.monitor_failures),
+            ("invariant failures", self.invariant_failures),
+            ("heals", self.heals),
+            ("batches rejected", self.batches_rejected),
+            ("checkpoints written", self.checkpoints_written),
+            ("result verified", self.result_verified),
+            ("accounting closed", self.accounted),
+        ]
+        return [{"quantity": k, "value": v} for k, v in pairs]
+
+    def to_dict(self) -> dict[str, Any]:
+        doc = {
+            row["quantity"].replace(" ", "_"): row["value"]
+            for row in self.rows()
+        }
+        doc["dead_letters_by_reason"] = dict(self.dead_letters_by_reason)
+        doc["engine"] = self.engine_report.to_dict()
+        return doc
+
+
+def naive_recompute(
+    supervised: MonitorSupervisor | AG2Monitor,
+) -> tuple[float, int]:
+    """Exact plane-sweep answer over a monitor's surviving window."""
+    contents = list(supervised.window.contents)
+    if not contents:
+        return 0.0, 0
+    reference = NaiveMonitor(
+        supervised.rect_width,
+        supervised.rect_height,
+        CountWindow(len(contents)),
+    )
+    result = reference.update(contents)
+    return result.best_weight, len(contents)
+
+
+def run_chaos(
+    dataset: str = "synthetic",
+    *,
+    window: int = 2000,
+    rate: int = 100,
+    batches: int = 200,
+    side: float = 1000.0,
+    domain: float = 140_000.0,
+    seed: int = 7,
+    policy: ErrorPolicy | str = ErrorPolicy.QUARANTINE,
+    p_drop: float = 0.02,
+    p_duplicate: float = 0.02,
+    p_corrupt: float = 0.02,
+    p_delay: float = 0.05,
+    max_delay: int = 3,
+    max_lateness: float | None = None,
+    probe_every: int = 50,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = 0,
+    epsilon: float = 0.0,
+) -> ChaosReport:
+    """Run the full chaos pipeline and verify the outcome.
+
+    ``max_lateness`` defaults to ``2 * max_delay`` timestamp units —
+    generous enough that every injected delay is re-sequenced rather
+    than dropped when the upstream emits one record per time unit.
+    """
+    if max_lateness is None:
+        max_lateness = 2.0 * max_delay
+    stream = make_stream(dataset, domain=domain, seed=seed)
+    chaos = FaultInjectingSource(
+        stream,
+        seed=seed + 1,
+        p_drop=p_drop,
+        p_duplicate=p_duplicate,
+        p_corrupt=p_corrupt,
+        p_delay=p_delay,
+        max_delay=max_delay,
+    )
+    guard = IngestGuard(chaos, policy=policy, max_lateness=max_lateness)
+    metrics = Metrics("chaos")
+    supervised = MonitorSupervisor(
+        AG2Monitor(side, side, CountWindow(window), epsilon=epsilon),
+        probe_every=probe_every,
+    )
+    manager = None
+    if checkpoint_path is not None:
+        manager = CheckpointManager(
+            supervised,
+            checkpoint_path,
+            every=checkpoint_every,
+            metrics=metrics.scope("checkpoint"),
+        )
+    engine = StreamEngine(
+        {"ag2": supervised},
+        guard,
+        batch_size=rate,
+        metrics=metrics,
+        checkpoint=manager,
+    )
+    engine.prime(window)
+    report = engine.run(batches)
+    naive_weight, window_size = naive_recompute(supervised)
+    return ChaosReport(
+        engine_report=report,
+        supervised_weight=supervised.result.best_weight,
+        naive_weight=naive_weight,
+        window_size=window_size,
+        injected_drops=chaos.drops,
+        injected_duplicates=chaos.duplicates,
+        injected_corrupt=chaos.corrupted,
+        injected_delayed=chaos.delayed,
+        offered=guard.offered,
+        admitted=guard.admitted,
+        quarantined=guard.quarantined,
+        skipped=guard.skipped,
+        late_dropped=guard.late_dropped,
+        late_reordered=guard.late_reordered,
+        reorder_pending=guard.reorder.pending,
+        dead_letters=guard.dead_letters.total_enqueued,
+        dead_letters_by_reason=guard.dead_letters.counts_by_reason(),
+        monitor_failures=supervised.failures,
+        invariant_failures=supervised.invariant_failures,
+        heals=supervised.heals,
+        batches_rejected=supervised.batches_rejected,
+        checkpoints_written=(
+            manager.checkpoints_written if manager is not None else 0
+        ),
+        policy=guard.policy,
+    )

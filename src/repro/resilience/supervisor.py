@@ -1,0 +1,288 @@
+"""Self-healing supervision for monitors and flaky sources.
+
+:class:`MonitorSupervisor` wraps any :class:`MaxRSMonitor` behind the
+same ``update``/``ingest``/``result`` surface and adds the recovery
+behaviour a long-running deployment needs:
+
+* a mid-update exception no longer aborts the run — the supervisor
+  rebuilds the index from the *surviving window contents* (via
+  :func:`repro.persist.snapshot`/:func:`repro.persist.restore`, the
+  same machinery checkpoints use) and re-answers over the restored
+  window;
+* an optional periodic ``check_invariants()`` probe catches silent
+  index corruption before it surfaces as a wrong answer, triggering
+  the same heal;
+* a rejected batch (``WindowOrderError`` — the window refused it
+  before any index state changed) is *not* corruption: the batch is
+  dropped, counted, and the previous answer stands.
+
+:class:`RetryingSource` is the companion for the other side of the
+pipe: transient source failures (flaky file systems, network hiccups)
+are retried with exponential backoff before giving up.
+"""
+
+from __future__ import annotations
+
+import time
+import types
+from typing import Callable, Iterator, Sequence, Type
+
+from repro.core.monitor import MaxRSMonitor
+from repro.core.objects import SpatialObject
+from repro.core.spaces import MaxRSResult
+from repro.errors import (
+    InvariantViolationError,
+    SourceRetryExhaustedError,
+    UnrecoverableMonitorError,
+    WindowOrderError,
+)
+from repro.obs.metrics import NULL_METRICS, Metrics
+from repro.streams.source import StreamSource
+from repro.window.base import SlidingWindow
+
+__all__ = ["MonitorSupervisor", "RetryingSource"]
+
+
+class MonitorSupervisor:
+    """Fault-isolating wrapper around one monitor.
+
+    Drop-in for a :class:`MaxRSMonitor` anywhere the library consumes
+    one structurally (``StreamEngine``, ``MultiQueryGroup``,
+    ``CheckpointManager``): it forwards ``update``/``ingest``/
+    ``attach_metrics`` and exposes ``window``/``result``/``stats`` from
+    the supervised monitor.
+
+    Args:
+        monitor: The monitor to supervise.  Must be snapshotable by
+            :mod:`repro.persist` unless ``rebuild`` is given.
+        probe_every: Run ``check_invariants()`` after every N-th
+            successful update (0 disables probing).  Monitors without
+            the method are probed as no-ops.
+        max_heals: Heal budget; one more failure past it raises
+            :class:`UnrecoverableMonitorError` (None = unlimited).
+        rebuild: Optional factory returning a *fresh, empty* monitor of
+            the same configuration — used instead of the persist
+            round-trip, e.g. for monitor types persist cannot snapshot.
+        metrics: Observability scope; counters ``monitor_failures``,
+            ``invariant_failures``, ``heals``, ``batches_rejected``,
+            ``objects_resurrected``.
+    """
+
+    def __init__(
+        self,
+        monitor: MaxRSMonitor,
+        *,
+        probe_every: int = 0,
+        max_heals: int | None = None,
+        rebuild: Callable[[], MaxRSMonitor] | None = None,
+        metrics: Metrics = NULL_METRICS,
+    ) -> None:
+        self._monitor = monitor
+        self.probe_every = max(0, int(probe_every))
+        self.max_heals = max_heals
+        self._rebuild = rebuild
+        self.metrics = metrics
+        self.failures = 0  # update/ingest raised mid-flight
+        self.invariant_failures = 0  # probe caught corruption
+        self.heals = 0  # successful index rebuilds
+        self.batches_rejected = 0  # window refused the batch cleanly
+        self._updates_since_probe = 0
+
+    # -- monitor surface ---------------------------------------------------
+
+    @property
+    def monitor(self) -> MaxRSMonitor:
+        """The currently live supervised monitor (changes on heal)."""
+        return self._monitor
+
+    @property
+    def window(self) -> SlidingWindow:
+        return self._monitor.window
+
+    @property
+    def result(self) -> MaxRSResult:
+        return self._monitor.result
+
+    @property
+    def stats(self):
+        return self._monitor.stats
+
+    @property
+    def rect_width(self) -> float:
+        return self._monitor.rect_width
+
+    @property
+    def rect_height(self) -> float:
+        return self._monitor.rect_height
+
+    def attach_metrics(self, metrics: Metrics) -> None:
+        """Engine attachment point: supervisor counters live alongside
+        the monitor's own scope (under ``supervisor``)."""
+        self.metrics = metrics.scope("supervisor")
+        self._monitor.attach_metrics(metrics)
+
+    def check_invariants(self) -> None:
+        """Forward to the supervised monitor (no-op when unsupported)."""
+        probe = getattr(self._monitor, "check_invariants", None)
+        if probe is not None:
+            probe()
+
+    # -- supervised operations ---------------------------------------------
+
+    def update(self, objects: Sequence[SpatialObject]) -> MaxRSResult:
+        """Push a batch; heal and re-answer instead of propagating."""
+        try:
+            result = self._monitor.update(objects)
+        except WindowOrderError:
+            # the window rejected the batch before any state changed:
+            # drop it and keep the previous answer (an IngestGuard
+            # upstream makes this path unreachable in practice)
+            self.batches_rejected += 1
+            self.metrics.inc("batches_rejected")
+            return self._monitor.result
+        except Exception as exc:  # index corrupted mid-update
+            self.failures += 1
+            self.metrics.inc("monitor_failures")
+            self._heal(exc)
+            return self._monitor.update([])
+        self._maybe_probe()
+        return self._monitor.result if result is None else result
+
+    def ingest(self, objects: Sequence[SpatialObject]) -> None:
+        """Bulk-load without an answer, with the same healing."""
+        try:
+            self._monitor.ingest(objects)
+        except WindowOrderError:
+            self.batches_rejected += 1
+            self.metrics.inc("batches_rejected")
+        except Exception as exc:
+            self.failures += 1
+            self.metrics.inc("monitor_failures")
+            self._heal(exc)
+
+    # -- healing -----------------------------------------------------------
+
+    def _maybe_probe(self) -> None:
+        if not self.probe_every:
+            return
+        self._updates_since_probe += 1
+        if self._updates_since_probe < self.probe_every:
+            return
+        self._updates_since_probe = 0
+        try:
+            self.check_invariants()
+        except InvariantViolationError as exc:
+            self.invariant_failures += 1
+            self.metrics.inc("invariant_failures")
+            self._heal(exc)
+
+    def _heal(self, cause: BaseException) -> None:
+        """Rebuild the index from the surviving window contents."""
+        if self.max_heals is not None and self.heals >= self.max_heals:
+            raise UnrecoverableMonitorError(
+                f"heal budget exhausted after {self.heals} heals"
+            ) from cause
+        survivors = tuple(self._monitor.window.contents)
+        try:
+            if self._rebuild is not None:
+                healed = self._rebuild()
+                if survivors:
+                    healed.ingest(list(survivors))
+            else:
+                from repro import persist
+
+                healed = persist.restore(persist.snapshot(self._monitor))
+        except Exception as heal_exc:
+            raise UnrecoverableMonitorError(
+                f"could not rebuild monitor from {len(survivors)} "
+                f"surviving objects: {heal_exc}"
+            ) from cause
+        if self._monitor.metrics is not NULL_METRICS:
+            healed.attach_metrics(self._monitor.metrics)
+        self._monitor = healed
+        self.heals += 1
+        self._updates_since_probe = 0
+        self.metrics.inc("heals")
+        self.metrics.inc("objects_resurrected", len(survivors))
+
+
+class RetryingSource(StreamSource):
+    """Retry-with-backoff wrapper for transiently failing sources.
+
+    The wrapped source's iterator is re-polled after a failure, so it
+    must tolerate ``__next__`` being called again after raising (custom
+    iterator classes do; a plain generator is closed by its first
+    exception — wrap the *source object*, and the iterator is recreated
+    and fast-forwarded past the records already delivered).
+
+    Args:
+        source: The flaky upstream.
+        retry_on: Exception types treated as transient (anything else
+            propagates immediately).
+        max_retries: Attempts per record beyond the first; exhausting
+            them raises :class:`SourceRetryExhaustedError`.
+        base_delay: First backoff sleep, seconds.
+        backoff: Multiplier applied per consecutive failure.
+        sleep: Injectable clock for tests (defaults to ``time.sleep``).
+    """
+
+    def __init__(
+        self,
+        source: StreamSource | Iterator[SpatialObject],
+        *,
+        retry_on: tuple[Type[BaseException], ...] = (OSError, TimeoutError),
+        max_retries: int = 3,
+        base_delay: float = 0.05,
+        backoff: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+        metrics: Metrics = NULL_METRICS,
+    ) -> None:
+        self._source = source
+        self.retry_on = retry_on
+        self.max_retries = max(0, int(max_retries))
+        self.base_delay = base_delay
+        self.backoff = backoff
+        self._sleep = sleep
+        self.metrics = metrics
+        self.retries = 0  # transient failures retried
+        self.resets = 0  # iterator rebuilds (generator sources)
+
+    def __iter__(self) -> Iterator[SpatialObject]:
+        iterator = iter(self._source)
+        delivered = 0
+        while True:
+            attempts = 0
+            delay = self.base_delay
+            while True:
+                try:
+                    obj = next(iterator)
+                    break
+                except StopIteration:
+                    return
+                except self.retry_on as exc:
+                    attempts += 1
+                    self.retries += 1
+                    self.metrics.inc("source_retries")
+                    if attempts > self.max_retries:
+                        raise SourceRetryExhaustedError(
+                            f"source still failing after {self.max_retries} "
+                            f"retries: {exc}"
+                        ) from exc
+                    self._sleep(delay)
+                    delay *= self.backoff
+                    iterator = self._reset(iterator, delivered)
+            delivered += 1
+            yield obj
+
+    def _reset(
+        self, iterator: Iterator[SpatialObject], delivered: int
+    ) -> Iterator[SpatialObject]:
+        """Recreate a closed generator, skipping delivered records."""
+        if not isinstance(iterator, types.GeneratorType):
+            return iterator  # resumable iterator: keep polling it
+        fresh = iter(self._source)
+        for _ in range(delivered):
+            next(fresh)
+        self.resets += 1
+        self.metrics.inc("source_resets")
+        return fresh

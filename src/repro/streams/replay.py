@@ -57,13 +57,27 @@ class CsvStream(StreamSource):
                     raise InvalidParameterError(
                         f"{self.path}:{lineno}: expected x,y,weight[,timestamp]"
                     )
-                timestamp = float(row[3]) if len(row) > 3 else float(lineno)
-                yield SpatialObject(
-                    x=float(row[0]),
-                    y=float(row[1]),
-                    weight=float(row[2]),
-                    timestamp=timestamp,
-                )
+                # malformed numerics and invalid objects (NaN coordinate,
+                # negative weight) both surface as InvalidParameterError
+                # carrying file:lineno, so a bad row is locatable and an
+                # ingest guard can quarantine it like any other record
+                try:
+                    timestamp = float(row[3]) if len(row) > 3 else float(lineno)
+                    yield SpatialObject(
+                        x=float(row[0]),
+                        y=float(row[1]),
+                        weight=float(row[2]),
+                        timestamp=timestamp,
+                    )
+                except InvalidParameterError as exc:
+                    raise InvalidParameterError(
+                        f"{self.path}:{lineno}: invalid object: {exc}"
+                    ) from exc
+                except ValueError as exc:
+                    raise InvalidParameterError(
+                        f"{self.path}:{lineno}: malformed numeric field "
+                        f"in row {row!r}: {exc}"
+                    ) from exc
 
 
 def write_csv(path: str | Path, objects: Sequence[SpatialObject]) -> None:

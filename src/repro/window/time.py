@@ -45,7 +45,11 @@ class TimeWindow(SlidingWindow):
     def push(self, objects: Sequence[SpatialObject]) -> WindowUpdate:
         """Admit ``objects`` (non-decreasing timestamps) and expire."""
         tick = self._next_tick()
-        last = self._now if self._items else float("-inf")
+        # guard against self._now even when the window has drained empty:
+        # a timestamp before the current window time is a time-travel
+        # push whether or not any object is still alive (advance_to
+        # already rejects the same regression)
+        last = self._now
         for obj in objects:
             if obj.timestamp < last:
                 raise WindowOrderError(

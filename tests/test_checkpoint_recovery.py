@@ -1,0 +1,241 @@
+"""Checkpoint/recovery tests: atomicity, damage tolerance, equivalence.
+
+The core guarantee under test: *kill at any batch boundary, restore
+from the last checkpoint, replay the tail, and the final answer is
+bit-identical to an uninterrupted run* — for every snapshotable
+monitor kind.  This holds because snapshots capture the alive window
+and the indexes are pure functions of the arrival sequence.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import make_objects
+from repro import persist
+from repro.core.ag2 import AG2Monitor
+from repro.core.g2 import G2Monitor
+from repro.core.naive import NaiveMonitor
+from repro.core.spaces import region_key
+from repro.core.topk import TopKAG2Monitor
+from repro.errors import ReproError, SnapshotError
+from repro.obs import Metrics
+from repro.resilience import CheckpointManager, MonitorSupervisor
+from repro.window import CountWindow
+
+WINDOW = 60
+BATCH = 10
+TOTAL_BATCHES = 12
+KILL_AT = 7  # checkpoint boundary: multiple of EVERY below
+EVERY = 7
+
+FACTORIES = {
+    "naive": lambda: NaiveMonitor(12, 12, CountWindow(WINDOW)),
+    "g2": lambda: G2Monitor(12, 12, CountWindow(WINDOW)),
+    "ag2": lambda: AG2Monitor(12, 12, CountWindow(WINDOW)),
+    "topk": lambda: TopKAG2Monitor(12, 12, CountWindow(WINDOW), k=3),
+}
+
+
+def stream_batches(count: int = TOTAL_BATCHES):
+    return [
+        make_objects(BATCH, seed=100 + i, domain=80.0, start_t=i * BATCH)
+        for i in range(count)
+    ]
+
+
+def covered_oids(monitor) -> set[int]:
+    """Objects whose dual rectangle covers the reported best region."""
+    best = monitor.result.best
+    if best is None:
+        return set()
+    cx, cy = best.best_point
+    return {
+        o.oid
+        for o in monitor.window.contents
+        if o.to_rect(monitor.rect_width, monitor.rect_height).covers_point(cx, cy)
+    }
+
+
+class TestAtomicPersistence:
+    def test_save_json_leaves_no_temp_files(self, tmp_path):
+        monitor = FACTORIES["ag2"]()
+        monitor.update(make_objects(20, seed=1, domain=80.0))
+        target = tmp_path / "snap.json"
+        persist.save_json(monitor, target)
+        assert target.exists()
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.json"]
+
+    def test_save_json_overwrites_atomically(self, tmp_path):
+        monitor = FACTORIES["naive"]()
+        target = tmp_path / "snap.json"
+        monitor.update(make_objects(5, seed=2, domain=80.0, start_t=0.0))
+        persist.save_json(monitor, target)
+        monitor.update(make_objects(5, seed=3, domain=80.0, start_t=10.0))
+        persist.save_json(monitor, target)
+        restored = persist.load_json(target)
+        assert len(restored.window) == len(monitor.window)
+
+    def test_truncated_json_raises_snapshot_error(self, tmp_path):
+        monitor = FACTORIES["naive"]()
+        monitor.update(make_objects(5, seed=4, domain=80.0))
+        target = tmp_path / "snap.json"
+        persist.save_json(monitor, target)
+        target.write_text(target.read_text()[:40])  # torn write
+        with pytest.raises(SnapshotError):
+            persist.load_json(target)
+
+    def test_not_json_raises_snapshot_error(self, tmp_path):
+        target = tmp_path / "snap.json"
+        target.write_text("this is not json{{{")
+        with pytest.raises(SnapshotError):
+            persist.load_json(target)
+
+    def test_missing_fields_raise_repro_error(self):
+        with pytest.raises(ReproError):
+            persist.restore({"format": 1, "kind": "naive"})  # no window/size
+
+    def test_non_object_snapshot_rejected(self):
+        with pytest.raises(SnapshotError):
+            persist.restore(["not", "a", "snapshot"])  # type: ignore[arg-type]
+
+
+class TestCheckpointManager:
+    def test_periodic_checkpoints(self, tmp_path):
+        monitor = FACTORIES["ag2"]()
+        path = tmp_path / "ckpt.json"
+        manager = CheckpointManager(monitor, path, every=3)
+        for batch in stream_batches(7):
+            monitor.update(batch)
+            manager.note_batch()
+        assert manager.checkpoints_written == 2  # after batches 3 and 6
+        restored, index = CheckpointManager.load(path)
+        assert index == 6
+        assert len(restored.window) == len(monitor.window) or index * BATCH >= WINDOW
+
+    def test_rotation_keeps_history(self, tmp_path):
+        monitor = FACTORIES["naive"]()
+        path = tmp_path / "ckpt.json"
+        manager = CheckpointManager(monitor, path, every=1, keep=2)
+        for batch in stream_batches(4):
+            monitor.update(batch)
+            manager.note_batch()
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["ckpt.json", "ckpt.json.1", "ckpt.json.2"]
+        _, newest = CheckpointManager.load(path)
+        _, older = CheckpointManager.load(tmp_path / "ckpt.json.1")
+        assert (newest, older) == (4, 3)
+
+    def test_recover_falls_back_through_history(self, tmp_path):
+        monitor = FACTORIES["g2"]()
+        path = tmp_path / "ckpt.json"
+        manager = CheckpointManager(monitor, path, every=1, keep=2)
+        for batch in stream_batches(3):
+            monitor.update(batch)
+            manager.note_batch()
+        path.write_text("corrupted!!!")  # current checkpoint damaged
+        restored, index = CheckpointManager.recover(path)
+        assert index == 2  # newest readable is the rotated predecessor
+        assert len(restored.window) == 2 * BATCH
+
+    def test_recover_with_nothing_readable(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            CheckpointManager.recover(tmp_path / "absent.json")
+
+    def test_unknown_checkpoint_format_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"format": 999, "batch_index": 1}))
+        with pytest.raises(SnapshotError):
+            CheckpointManager.load(path)
+
+    def test_metrics_counters(self, tmp_path):
+        metrics = Metrics()
+        monitor = FACTORIES["naive"]()
+        manager = CheckpointManager(
+            monitor, tmp_path / "c.json", every=2,
+            metrics=metrics.scope("checkpoint"),
+        )
+        for batch in stream_batches(4):
+            monitor.update(batch)
+            manager.note_batch()
+        snap = metrics.snapshot()
+        assert snap.counters["checkpoint.checkpoints_written"] == 2
+        assert snap.gauges["checkpoint.checkpoint_batch_index"] == 4
+
+    def test_supervisor_is_unwrapped(self, tmp_path):
+        supervised = MonitorSupervisor(FACTORIES["ag2"]())
+        path = tmp_path / "ckpt.json"
+        manager = CheckpointManager(supervised, path, every=1)
+        supervised.update(stream_batches(1)[0])
+        manager.note_batch()
+        restored, _ = CheckpointManager.load(path)
+        assert isinstance(restored, AG2Monitor)
+        assert len(restored.window) == BATCH
+
+
+class TestCrashRecoveryEquivalence:
+    @pytest.mark.parametrize("kind", sorted(FACTORIES))
+    def test_kill_restore_replay_equals_uninterrupted(self, kind, tmp_path):
+        batches = stream_batches()
+
+        # uninterrupted reference run
+        reference = FACTORIES[kind]()
+        for batch in batches:
+            reference.update(batch)
+
+        # interrupted run: checkpoint every EVERY batches, die at KILL_AT
+        victim = FACTORIES[kind]()
+        path = tmp_path / "ckpt.json"
+        manager = CheckpointManager(victim, path, every=EVERY)
+        for batch in batches[:KILL_AT]:
+            victim.update(batch)
+            manager.note_batch()
+        del victim  # crash
+
+        # recovery: load last checkpoint, replay the tail
+        recovered, resume_from = CheckpointManager.recover(path)
+        assert resume_from == EVERY
+        for batch in batches[resume_from:]:
+            recovered.update(batch)
+
+        want, got = reference.result, recovered.result
+        assert got.best_weight == pytest.approx(want.best_weight)
+        assert got.window_size == want.window_size
+        assert [region_key(r) for r in got.regions] == [
+            region_key(r) for r in want.regions
+        ]
+        assert covered_oids(recovered) == covered_oids(reference)
+        assert [o.oid for o in recovered.window.contents] == [
+            o.oid for o in reference.window.contents
+        ]
+
+    def test_recovery_counts_in_metrics(self, tmp_path):
+        monitor = FACTORIES["ag2"]()
+        path = tmp_path / "ckpt.json"
+        manager = CheckpointManager(monitor, path, every=1)
+        monitor.update(stream_batches(1)[0])
+        manager.note_batch()
+        metrics = Metrics()
+        CheckpointManager.recover(path, metrics=metrics.scope("recovery"))
+        snap = metrics.snapshot()
+        assert snap.counters["recovery.recoveries"] == 1
+
+    def test_resumed_manager_keeps_period_alignment(self, tmp_path):
+        batches = stream_batches(8)
+        monitor = FACTORIES["naive"]()
+        path = tmp_path / "ckpt.json"
+        manager = CheckpointManager(monitor, path, every=4)
+        for batch in batches[:5]:
+            monitor.update(batch)
+            manager.note_batch()
+        recovered, index = CheckpointManager.recover(path)
+        fresh = CheckpointManager(recovered, path, every=4)
+        fresh.resume(recovered, index)
+        for batch in batches[index:]:
+            recovered.update(batch)
+            fresh.note_batch()
+        # second period boundary (batch 8) checkpointed by the resumed manager
+        _, final_index = CheckpointManager.load(path)
+        assert final_index == 8

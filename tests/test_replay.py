@@ -66,6 +66,40 @@ class TestCsvStream:
         with pytest.raises(InvalidParameterError):
             list(CsvStream(path))
 
+    def test_malformed_numeric_field_locates_row(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("1,2,3,4\n5,oops,7,8\n")
+        with pytest.raises(InvalidParameterError) as exc_info:
+            list(CsvStream(path))
+        message = str(exc_info.value)
+        assert f"{path}:2" in message
+        assert "oops" in message
+
+    def test_invalid_object_row_locates_row(self, tmp_path):
+        # parses fine as floats, but violates SpatialObject validation
+        path = tmp_path / "s.csv"
+        path.write_text("1,2,3,4\nnan,6,7,8\n")
+        with pytest.raises(InvalidParameterError) as exc_info:
+            list(CsvStream(path))
+        assert f"{path}:2: invalid object" in str(exc_info.value)
+
+    def test_negative_weight_row_locates_row(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("1,2,3,4\n5,6,-1,8\n")
+        with pytest.raises(InvalidParameterError) as exc_info:
+            list(CsvStream(path))
+        assert f"{path}:2: invalid object" in str(exc_info.value)
+
+    def test_rows_before_bad_one_still_yielded(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("1,2,3,4\n5,6,7,8\nbroken,0,0,0\n")
+        stream = CsvStream(path)
+        iterator = iter(stream)
+        assert next(iterator).x == 1.0
+        assert next(iterator).x == 5.0
+        with pytest.raises(InvalidParameterError):
+            next(iterator)
+
     def test_replayable(self, tmp_path):
         path = tmp_path / "s.csv"
         write_csv(path, sample())

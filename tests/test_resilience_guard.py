@@ -1,0 +1,243 @@
+"""Ingest boundary tests: policies, dead-letter queue, reorder buffer.
+
+The guard's contract: whatever garbage arrives, what comes out is a
+sequence of valid objects in non-decreasing timestamp order, and every
+record that went in is accounted for (admitted, rejected, or pending).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_objects
+from repro.core.ag2 import AG2Monitor
+from repro.core.objects import SpatialObject
+from repro.engine import MultiQueryGroup, StreamEngine
+from repro.errors import InvalidParameterError, QuarantineError
+from repro.obs import Metrics
+from repro.resilience import (
+    DeadLetterQueue,
+    ErrorPolicy,
+    IngestGuard,
+    ReorderBuffer,
+    coerce_record,
+)
+from repro.window import CountWindow, TimeWindow
+
+
+def obj(ts: float, x: float = 5.0, w: float = 1.0) -> SpatialObject:
+    return SpatialObject(x=x, y=5.0, weight=w, timestamp=ts)
+
+
+class TestErrorPolicy:
+    def test_parse_strings(self):
+        assert ErrorPolicy.parse("quarantine") is ErrorPolicy.QUARANTINE
+        assert ErrorPolicy.parse("RAISE") is ErrorPolicy.RAISE
+        assert ErrorPolicy.parse(ErrorPolicy.SKIP) is ErrorPolicy.SKIP
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ErrorPolicy.parse("explode")
+
+
+class TestCoerceRecord:
+    def test_passthrough_valid_object(self):
+        o = obj(1.0)
+        assert coerce_record(o) is o
+
+    def test_mapping_and_sequence_payloads(self):
+        from_map = coerce_record({"x": 1, "y": 2, "weight": 3, "timestamp": 4})
+        assert (from_map.x, from_map.y) == (1.0, 2.0)
+        from_seq = coerce_record((1, 2, 3, 4))
+        assert from_seq.weight == 3.0 and from_seq.timestamp == 4.0
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"x": float("nan"), "y": 0.0},
+            {"x": 0.0, "y": 0.0, "weight": -1.0},
+            {"weight": 1.0},  # missing x/y
+            (1.0, float("inf")),
+            (1.0, 2.0, "garbage"),
+            "not a record",
+            object(),
+        ],
+    )
+    def test_bad_payloads_raise(self, payload):
+        with pytest.raises((InvalidParameterError, ValueError, TypeError)):
+            coerce_record(payload)
+
+
+class TestDeadLetterQueue:
+    def test_bounded_with_eviction_accounting(self):
+        from repro.resilience import DeadLetter
+
+        q = DeadLetterQueue(capacity=3)
+        for i in range(5):
+            q.put(DeadLetter(record=i, reason="invalid", detail="", seq=i))
+        assert len(q) == 3
+        assert q.total_enqueued == 5
+        assert q.total_evicted == 2
+        # retained entries are the newest ones
+        assert [letter.record for letter in q] == [2, 3, 4]
+        assert q.counts_by_reason() == {"invalid": 5}
+
+    def test_drain_empties_but_keeps_totals(self):
+        from repro.resilience import DeadLetter
+
+        q = DeadLetterQueue(capacity=8)
+        q.put(DeadLetter(record="r", reason="late", detail="", seq=1))
+        drained = q.drain()
+        assert len(drained) == 1 and len(q) == 0
+        assert q.total_enqueued == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(InvalidParameterError):
+            DeadLetterQueue(capacity=0)
+
+
+class TestReorderBuffer:
+    def test_in_order_stream_flows_through(self):
+        buf = ReorderBuffer(max_lateness=0.0)
+        out = []
+        for t in range(5):
+            out.extend(buf.offer(obj(float(t))))
+        assert [o.timestamp for o in out] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert buf.reordered == 0 and buf.pending == 0
+
+    def test_bounded_lateness_resequenced(self):
+        buf = ReorderBuffer(max_lateness=5.0)
+        emitted = []
+        for t in [1.0, 2.0, 4.0, 3.0, 8.0, 9.0, 10.0]:
+            out = buf.offer(obj(t))
+            assert out is not None
+            emitted.extend(out)
+        emitted.extend(buf.flush())
+        stamps = [o.timestamp for o in emitted]
+        assert stamps == sorted(stamps)
+        assert set(stamps) == {1.0, 2.0, 3.0, 4.0, 8.0, 9.0, 10.0}
+        assert buf.reordered == 1
+
+    def test_beyond_bound_is_rejected(self):
+        buf = ReorderBuffer(max_lateness=1.0)
+        buf.offer(obj(10.0))
+        assert buf.offer(obj(8.0)) is None  # watermark is 9.0
+        assert buf.offer(obj(9.5)) is not None
+
+    def test_emitted_order_feeds_time_window(self):
+        """The buffer's output satisfies TimeWindow's order contract."""
+        buf = ReorderBuffer(max_lateness=4.0)
+        window = TimeWindow(100.0)
+        sequence = [1.0, 3.0, 2.0, 5.0, 4.0, 9.0, 7.0, 12.0, 11.0, 15.0]
+        for t in sequence:
+            released = buf.offer(obj(t))
+            if released:
+                window.push(released)  # must not raise WindowOrderError
+        window.push(buf.flush())
+        assert len(window) == len(sequence)
+
+    def test_negative_lateness_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ReorderBuffer(max_lateness=-1.0)
+
+
+class TestIngestGuardPolicies:
+    def test_quarantine_captures_with_reason(self):
+        guard = IngestGuard(policy="quarantine")
+        good = guard.filter([obj(1.0), {"x": float("nan"), "y": 0.0}, obj(2.0)])
+        assert [o.timestamp for o in good] == [1.0, 2.0]
+        assert guard.quarantined == 1
+        letters = list(guard.dead_letters)
+        assert len(letters) == 1 and letters[0].reason == "invalid"
+
+    def test_skip_drops_silently(self):
+        guard = IngestGuard(policy=ErrorPolicy.SKIP)
+        good = guard.filter([obj(1.0), "garbage", obj(2.0)])
+        assert len(good) == 2
+        assert guard.skipped == 1
+        assert len(guard.dead_letters) == 0
+
+    def test_raise_policy_fails_fast(self):
+        guard = IngestGuard(policy=ErrorPolicy.RAISE)
+        with pytest.raises(QuarantineError) as exc_info:
+            guard.filter([obj(1.0), {"x": 0.0, "y": 0.0, "weight": -2.0}])
+        assert exc_info.value.record == {"x": 0.0, "y": 0.0, "weight": -2.0}
+
+    def test_late_records_deadlettered_as_late(self):
+        guard = IngestGuard(policy="quarantine", max_lateness=1.0)
+        guard.filter([obj(10.0)])
+        guard.filter([obj(5.0)])  # hopelessly late
+        assert guard.late_dropped == 1
+        assert guard.dead_letters.counts_by_reason() == {"late": 1}
+
+    def test_conservation_law(self):
+        guard = IngestGuard(policy="quarantine", max_lateness=3.0)
+        records = [obj(1.0), "bad", obj(4.0), obj(3.0), obj(2.0), obj(9.0)]
+        guard.filter(records)
+        assert guard.offered == len(records)
+        assert guard.offered == (
+            guard.admitted + guard.rejected + guard.reorder.pending
+        )
+        guard.flush()
+        assert guard.reorder.pending == 0
+        assert guard.offered == guard.admitted + guard.rejected
+
+    def test_iterator_mode_flushes_at_end(self):
+        source = [obj(1.0), obj(3.0), obj(2.0), "junk", obj(8.0)]
+        guard = IngestGuard(iter(source), policy="quarantine", max_lateness=5.0)
+        out = list(guard)
+        stamps = [o.timestamp for o in out]
+        assert stamps == [1.0, 2.0, 3.0, 8.0]
+        assert guard.quarantined == 1
+
+    def test_batch_guard_without_source_cannot_iterate(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            list(IngestGuard())
+
+    def test_metrics_counters_emitted(self):
+        metrics = Metrics()
+        guard = IngestGuard(policy="quarantine", max_lateness=2.0)
+        guard.attach_metrics(metrics)
+        guard.filter([obj(5.0), "bad", obj(4.0), obj(0.5)])
+        snap = metrics.snapshot()
+        assert snap.counters["records_quarantined"] == 1
+        assert snap.counters["late_reordered"] == 1
+        assert snap.counters["late_dropped"] == 1
+        assert snap.counters["dead_letters"] == 2  # invalid + late
+
+
+class TestEngineAndGroupWiring:
+    def test_engine_reports_ingest_scope(self):
+        objects = make_objects(200, seed=5, domain=60.0)
+        records: list[object] = list(objects)
+        records.insert(10, {"x": float("nan"), "y": 1.0})
+        guard = IngestGuard(iter(records), policy="quarantine")
+        metrics = Metrics()
+        engine = StreamEngine(
+            {"ag2": AG2Monitor(10, 10, CountWindow(50))},
+            guard,
+            batch_size=20,
+            metrics=metrics,
+        )
+        report = engine.run(10)
+        assert "ingest" in report.metrics
+        assert report.metrics["ingest"].counters["records_quarantined"] == 1
+
+    def test_multi_query_group_guarded_update(self):
+        group = MultiQueryGroup(guard=IngestGuard(policy="quarantine"))
+        group.add("a", AG2Monitor(10, 10, CountWindow(30)))
+        group.add("b", AG2Monitor(20, 20, CountWindow(30)))
+        batch: list[object] = list(make_objects(10, seed=6, domain=50.0))
+        batch.append((1.0, 2.0, "garbage"))
+        results = group.update_guarded(batch)
+        assert set(results) == {"a", "b"}
+        assert group.guard.quarantined == 1
+        assert all(len(m.window) == 10 for m in map(group.monitor, "ab"))
+
+    def test_group_without_guard_rejects_guarded_update(self):
+        group = MultiQueryGroup()
+        group.add("a", AG2Monitor(10, 10, CountWindow(30)))
+        with pytest.raises(InvalidParameterError):
+            group.update_guarded([obj(1.0)])

@@ -1,0 +1,251 @@
+"""Supervision tests: self-healing monitors and retrying sources.
+
+The supervised contract: a mid-update failure (raised exception or a
+failed invariant probe) is absorbed by rebuilding the index from the
+surviving window contents, and the healed monitor answers exactly like
+a never-failed one — because the indexes are pure functions of the
+arrival sequence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_objects
+from repro.core.ag2 import AG2Monitor
+from repro.core.naive import NaiveMonitor
+from repro.errors import (
+    InvariantViolationError,
+    SourceRetryExhaustedError,
+    UnrecoverableMonitorError,
+)
+from repro.obs import Metrics
+from repro.resilience import MonitorSupervisor, RetryingSource
+from repro.streams import ReplayStream
+from repro.window import CountWindow, TimeWindow
+
+
+class FailingAG2(AG2Monitor):
+    """AG2 monitor that raises mid-update on command (after the window
+    has admitted the batch — exactly the corruption scenario)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fail_next = 0
+
+    def _on_delta(self, delta):
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            raise RuntimeError("injected index corruption")
+        super()._on_delta(delta)
+
+
+class BadInvariantsAG2(AG2Monitor):
+    """AG2 monitor whose invariant probe can be forced to fail once."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.pretend_corrupt = False
+
+    def check_invariants(self):
+        if self.pretend_corrupt:
+            self.pretend_corrupt = False
+            raise InvariantViolationError("injected invariant violation")
+        super().check_invariants()
+
+
+class TestMonitorSupervisorHealing:
+    def test_mid_update_failure_healed_and_equivalent(self):
+        monitor = FailingAG2(10, 10, CountWindow(40))
+        supervised = MonitorSupervisor(monitor)
+        reference = NaiveMonitor(10, 10, CountWindow(40))
+        batches = [make_objects(10, seed=s, domain=60.0, start_t=s * 10.0)
+                   for s in range(6)]
+        for i, batch in enumerate(batches):
+            if i == 3:
+                monitor.fail_next = 1
+            got = supervised.update(batch)
+            want = reference.update(batch)
+            assert got.best_weight == pytest.approx(want.best_weight)
+        assert supervised.failures == 1
+        assert supervised.heals == 1
+        # the healed instance replaced the failing one
+        assert supervised.monitor is not monitor
+        supervised.check_invariants()
+
+    def test_heal_preserves_time_window_clock(self):
+        monitor = FailingAG2(10, 10, TimeWindow(50.0))
+        supervised = MonitorSupervisor(monitor)
+        supervised.update(make_objects(5, seed=1, domain=40.0, start_t=0.0))
+        monitor.fail_next = 1
+        supervised.update(make_objects(5, seed=2, domain=40.0, start_t=10.0))
+        assert supervised.heals == 1
+        # post-heal pushes continue from the restored clock
+        result = supervised.update(
+            make_objects(5, seed=3, domain=40.0, start_t=20.0)
+        )
+        assert result.window_size == 15
+
+    def test_invariant_probe_triggers_heal(self):
+        monitor = BadInvariantsAG2(10, 10, CountWindow(30))
+        supervised = MonitorSupervisor(monitor, probe_every=2)
+        supervised.update(make_objects(5, seed=4, domain=50.0, start_t=0.0))
+        monitor.pretend_corrupt = True
+        supervised.update(make_objects(5, seed=5, domain=50.0, start_t=10.0))
+        assert supervised.invariant_failures == 1
+        assert supervised.heals == 1
+
+    def test_rejected_batch_is_not_corruption(self):
+        supervised = MonitorSupervisor(AG2Monitor(10, 10, TimeWindow(100.0)))
+        supervised.update(make_objects(5, seed=6, domain=40.0, start_t=50.0))
+        before = supervised.result
+        stale = make_objects(3, seed=7, domain=40.0, start_t=0.0)
+        after = supervised.update(stale)  # WindowOrderError inside
+        assert supervised.batches_rejected == 1
+        assert supervised.heals == 0
+        assert after.best_weight == pytest.approx(before.best_weight)
+
+    def test_heal_budget_exhaustion_raises(self):
+        monitor = FailingAG2(10, 10, CountWindow(20))
+        supervised = MonitorSupervisor(monitor, max_heals=0)
+        monitor.fail_next = 1
+        with pytest.raises(UnrecoverableMonitorError):
+            supervised.update(make_objects(3, seed=8, domain=40.0))
+
+    def test_custom_rebuild_factory(self):
+        monitor = FailingAG2(10, 10, CountWindow(20))
+        fresh = AG2Monitor(10, 10, CountWindow(20))
+        supervised = MonitorSupervisor(monitor, rebuild=lambda: fresh)
+        supervised.update(make_objects(5, seed=9, domain=40.0, start_t=0.0))
+        monitor.fail_next = 1
+        supervised.update(make_objects(5, seed=10, domain=40.0, start_t=10.0))
+        assert supervised.monitor is fresh
+        assert len(fresh.window) == 10
+
+    def test_supervisor_metrics_counters(self):
+        monitor = FailingAG2(10, 10, CountWindow(20))
+        supervised = MonitorSupervisor(monitor)
+        metrics = Metrics()
+        supervised.attach_metrics(metrics)
+        supervised.update(make_objects(4, seed=11, domain=40.0, start_t=0.0))
+        monitor.fail_next = 1
+        supervised.update(make_objects(4, seed=12, domain=40.0, start_t=10.0))
+        snap = metrics.snapshot()
+        assert snap.counters["supervisor.monitor_failures"] == 1
+        assert snap.counters["supervisor.heals"] == 1
+        # the monitor's own counters keep accumulating after the heal
+        assert snap.counters["updates"] >= 2
+
+    def test_ingest_failure_healed(self):
+        monitor = FailingAG2(10, 10, CountWindow(30))
+        supervised = MonitorSupervisor(monitor)
+        monitor.fail_next = 1
+        supervised.ingest(make_objects(5, seed=13, domain=40.0))
+        assert supervised.heals == 1
+        assert len(supervised.window) == 5
+
+
+class FlakyIterator:
+    """Resumable iterator raising a transient error at given positions."""
+
+    def __init__(self, objects, fail_at, exc=OSError):
+        self._objects = list(objects)
+        self._fail_at = set(fail_at)
+        self._exc = exc
+        self._pos = 0
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        if self._pos in self._fail_at:
+            self._fail_at.discard(self._pos)
+            raise self._exc("transient")
+        if self._pos >= len(self._objects):
+            raise StopIteration
+        obj = self._objects[self._pos]
+        self._pos += 1
+        return obj
+
+
+class TestRetryingSource:
+    def test_transient_failures_retried(self):
+        objects = make_objects(10, seed=14, domain=40.0)
+        sleeps: list[float] = []
+        source = RetryingSource(
+            FlakyIterator(objects, fail_at=[3, 7]),
+            base_delay=0.01,
+            sleep=sleeps.append,
+        )
+        assert list(source) == objects
+        assert source.retries == 2
+        assert sleeps == [0.01, 0.01]
+
+    def test_backoff_grows_per_consecutive_failure(self):
+        objects = make_objects(4, seed=15, domain=40.0)
+
+        class TripleFail(FlakyIterator):
+            def __init__(self, objs):
+                super().__init__(objs, fail_at=[])
+                self.remaining = 3
+
+            def __next__(self):
+                if self.remaining and self._pos == 2:
+                    self.remaining -= 1
+                    raise OSError("transient burst")
+                return super().__next__()
+
+        sleeps: list[float] = []
+        source = RetryingSource(
+            TripleFail(objects),
+            max_retries=5,
+            base_delay=0.01,
+            backoff=2.0,
+            sleep=sleeps.append,
+        )
+        assert list(source) == objects
+        assert sleeps == [0.01, 0.02, 0.04]
+
+    def test_exhaustion_raises_with_cause(self):
+        class AlwaysBroken:
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                raise OSError("dead disk")
+
+        source = RetryingSource(
+            AlwaysBroken(), max_retries=2, sleep=lambda _: None
+        )
+        with pytest.raises(SourceRetryExhaustedError) as exc_info:
+            list(source)
+        assert isinstance(exc_info.value.__cause__, OSError)
+
+    def test_non_transient_errors_propagate(self):
+        source = RetryingSource(
+            FlakyIterator([], fail_at=[0], exc=KeyError),
+            sleep=lambda _: None,
+        )
+        with pytest.raises(KeyError):
+            list(source)
+
+    def test_generator_source_restarted_and_fastforwarded(self):
+        objects = make_objects(6, seed=16, domain=40.0)
+
+        class FlakyOnceStream(ReplayStream):
+            """Generator-backed source that dies once mid-iteration."""
+
+            def __init__(self, objs):
+                super().__init__(objs)
+                self.failed = False
+
+            def __iter__(self):
+                for i, o in enumerate(super().__iter__()):
+                    if i == 3 and not self.failed:
+                        self.failed = True
+                        raise OSError("transient")
+                    yield o
+
+        source = RetryingSource(FlakyOnceStream(objects), sleep=lambda _: None)
+        assert list(source) == objects
+        assert source.resets == 1

@@ -100,6 +100,29 @@ class TestTimeWindow:
             t += 1.0
         assert expired == arrived[: len(expired)]
 
+    def test_drained_window_still_rejects_time_travel(self):
+        """Regression: once the window drains empty, the order guard
+        must still hold against ``now`` — a push older than the window
+        clock is the same time-travel that advance_to rejects."""
+        w = TimeWindow(2.0)
+        w.push(at(10.0))
+        w.advance_to(20.0)  # everything expires; window is empty
+        assert len(w) == 0
+        with pytest.raises(WindowOrderError):
+            w.push(at(5.0))
+        # at or after the clock is still fine
+        w.push(at(20.0))
+        assert len(w) == 1
+
+    def test_drained_by_expiry_rejects_time_travel(self):
+        """Same regression via push-driven expiry (no advance_to)."""
+        w = TimeWindow(1.0)
+        w.push(at(0.0))
+        w.push(at(100.0))  # the first object expires; only t=100 alive
+        w.advance_to(200.0)  # now empty again
+        with pytest.raises(WindowOrderError):
+            w.push(at(150.0))
+
     def test_clear_resets_clock(self):
         w = TimeWindow(5.0)
         w.push(at(100))
