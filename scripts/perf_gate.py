@@ -42,24 +42,32 @@ def check(metrics_path: str) -> list[str]:
     g2_visited = g2.get("cells_visited", 0.0)
     ag2_visited = ag2.get("cells_visited", 0.0)
     if not g2_visited > 0:
-        failures.append("g2 visited no cells — workload did not run?")
+        failures.append(
+            "g2 visited no cells — workload did not run? "
+            f"(measured cells_visited={g2_visited:.0f}, threshold > 0)"
+        )
     if not ag2_visited < g2_visited:
+        ratio = ag2_visited / g2_visited if g2_visited else float("inf")
         failures.append(
             "branch-and-bound regression: aG2 visited "
             f"{ag2_visited:.0f} cells, G2 visited {g2_visited:.0f} "
-            "(expected aG2 strictly fewer)"
+            f"(measured aG2/G2 ratio={ratio:.3f}, threshold < 1.000)"
         )
 
     prunings = ag2.get("cells_pruned", 0.0)
     if not prunings > 0:
         failures.append(
-            "pruning regression: aG2 recorded zero cell prunings"
+            "pruning regression: aG2 recorded zero cell prunings "
+            f"(measured cells_pruned={prunings:.0f}, threshold > 0)"
         )
 
     timings = doc.get("timings", {})
     ag2_mean = timings.get("ag2", {}).get("mean_ms", 0.0)
     if not ag2_mean > 0:
-        failures.append("no aG2 timing recorded — workload did not run?")
+        failures.append(
+            "no aG2 timing recorded — workload did not run? "
+            f"(measured mean_ms={ag2_mean:.3f}, threshold > 0)"
+        )
 
     if doc.get("source_exhausted"):
         failures.append(

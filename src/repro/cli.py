@@ -9,6 +9,7 @@ Subcommands mirror the paper's evaluation artefacts::
     maxrs-stream ablation
     maxrs-stream profile --window 2000 --batches 10 --json metrics.json
     maxrs-stream chaos --batches 200 --policy quarantine
+    maxrs-stream overload --pattern square --burst-factor 10
 
 Every subcommand prints a plain-text table; ``--dataset`` accepts the
 four built-in workload names (see ``repro.datasets``).
@@ -218,6 +219,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write the chaos report as JSON"
     )
 
+    p_overload = sub.add_parser(
+        "overload",
+        help="overload soak: drive a degradation-ladder monitor through "
+        "a bursty arrival profile behind a backpressure queue; exits "
+        "non-zero if p95 latency misses the budget, the shed ledger "
+        "does not close, a degraded answer breaks its (1-eps) floor, "
+        "or the ladder fails to return to exact",
+    )
+    _add_common(p_overload)
+    p_overload.add_argument(
+        "--ticks", type=int, default=160,
+        help="arrival ticks to drive (default: %(default)s)",
+    )
+    p_overload.add_argument(
+        "--pattern", default="square", choices=("square", "ramp", "spike"),
+        help="burst shape of the load generator (default: %(default)s)",
+    )
+    p_overload.add_argument(
+        "--burst-factor", type=float, default=10.0,
+        help="peak rate as a multiple of --rate (default: %(default)s)",
+    )
+    p_overload.add_argument(
+        "--period", type=int, default=80,
+        help="ticks per burst period (default: %(default)s)",
+    )
+    p_overload.add_argument(
+        "--burst-ticks", type=int, default=15,
+        help="burst length within each period, square pattern "
+        "(default: %(default)s)",
+    )
+    p_overload.add_argument(
+        "--budget-ms", type=float, default=None,
+        help="per-update latency budget; omitted = calibrated from "
+        "this machine's exact update cost",
+    )
+    p_overload.add_argument(
+        "--capacity", type=int, default=None,
+        help="backpressure queue capacity (default: 20 * rate)",
+    )
+    p_overload.add_argument(
+        "--max-batch", type=int, default=None,
+        help="coalesced drain cap (default: 8 * rate)",
+    )
+    p_overload.add_argument(
+        "--shed-policy", default="shed_oldest",
+        choices=("block", "shed_oldest", "shed_newest"),
+        help="policy when the queue is full (default: %(default)s)",
+    )
+    p_overload.add_argument(
+        "--epsilons", default="0.2,0.4",
+        help="comma-separated ladder tolerances, strictly increasing",
+    )
+    p_overload.add_argument(
+        "--verify-every", type=int, default=10,
+        help="exact-companion guarantee check period in batches; "
+        "0 disables (default: %(default)s)",
+    )
+    p_overload.add_argument(
+        "--json", metavar="PATH", help="write the overload report as JSON"
+    )
+
     p_dataset = sub.add_parser(
         "dataset", help="dump a workload sample to CSV (x,y,weight,timestamp)"
     )
@@ -326,6 +388,69 @@ def main(argv: Sequence[str] | None = None) -> int:
             print("FAIL: ingest accounting does not close")
             return 1
         print("OK: survived chaos; result verified, accounting closed")
+    elif args.command == "overload":
+        from repro.overload import run_overload
+
+        overload_report = run_overload(
+            args.dataset,
+            window=args.window,
+            rate=args.rate,
+            ticks=args.ticks,
+            pattern=args.pattern,
+            burst_factor=args.burst_factor,
+            period=args.period,
+            burst_ticks=args.burst_ticks,
+            side=args.side,
+            domain=args.domain,
+            seed=args.seed,
+            budget_ms=args.budget_ms,
+            capacity=args.capacity,
+            max_batch=args.max_batch,
+            shed_policy=args.shed_policy,
+            epsilons=tuple(_parse_list(args.epsilons, float)),
+            verify_every=args.verify_every,
+        )
+        title = (
+            f"overload soak [{args.dataset}] window={args.window} "
+            f"rate={args.rate} pattern={args.pattern} "
+            f"burst_factor={args.burst_factor:g} seed={args.seed}"
+        )
+        print(format_rows(overload_report.rows(), title=title))
+        if args.json:
+            write_metrics_json(args.json, overload_report.to_dict())
+            print(f"wrote overload report JSON to {args.json}")
+        failed = False
+        if not overload_report.within_budget:
+            print(
+                f"FAIL: p95 update latency {overload_report.p95_ms:.3f} ms "
+                f"over budget {overload_report.budget_ms:.3f} ms"
+            )
+            failed = True
+        if not overload_report.ledger_closed:
+            print(
+                "FAIL: backpressure ledger does not close "
+                f"({overload_report.ledger})"
+            )
+            failed = True
+        if not overload_report.guarantees_verified:
+            print(
+                "FAIL: degraded answers broke their guarantee "
+                f"({overload_report.guarantee_failures} of "
+                f"{overload_report.guarantee_checks} checks)"
+            )
+            failed = True
+        if not overload_report.recovered:
+            print(
+                "FAIL: ladder did not return to exact "
+                f"(final mode: {overload_report.final_mode})"
+            )
+            failed = True
+        if failed:
+            return 1
+        print(
+            "OK: p95 within budget, ledger closed, guarantees verified, "
+            "ladder recovered to exact"
+        )
     elif args.command == "dataset":
         from repro.datasets import make_stream
         from repro.streams import write_csv

@@ -299,10 +299,23 @@ class AG2Monitor(MaxRSMonitor):
     # -- result --------------------------------------------------------------------
 
     def _compute_result(self, tick: int) -> MaxRSResult:
+        # answers carry their quality contract: exact when ε = 0, a
+        # hard (1-ε) weight floor otherwise (Theorem 1)
+        mode = "approx" if self.epsilon > 0.0 else "exact"
+        guarantee = 1.0 - self.epsilon
         if self._star is None:
-            return MaxRSResult(tick=tick, window_size=len(self.window))
+            return MaxRSResult(
+                tick=tick,
+                window_size=len(self.window),
+                mode=mode,
+                guarantee=guarantee,
+            )
         return MaxRSResult.single(
-            self._star.space, tick=tick, window_size=len(self.window)
+            self._star.space,
+            tick=tick,
+            window_size=len(self.window),
+            mode=mode,
+            guarantee=guarantee,
         )
 
     # -- diagnostics -----------------------------------------------------------------

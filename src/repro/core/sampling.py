@@ -116,10 +116,20 @@ class SamplingMonitor(MaxRSMonitor):
             )
 
     def _compute_result(self, tick: int) -> MaxRSResult:
+        # sampling gives no deterministic weight floor (only the
+        # probabilistic 1-1/n bound), so the contract says guarantee 0
         rects = list(self._alive)
         if not rects:
-            return MaxRSResult(tick=tick, window_size=0)
+            return MaxRSResult(
+                tick=tick, window_size=0, mode="sampling", guarantee=0.0
+            )
         self.stats.full_sweeps += 1
         size = suggested_sample_size(len(rects), self.epsilon)
         region = sample_maxrs(rects, size, self._rng)
-        return MaxRSResult.single(region, tick=tick, window_size=len(rects))
+        return MaxRSResult.single(
+            region,
+            tick=tick,
+            window_size=len(rects),
+            mode="sampling",
+            guarantee=0.0,
+        )

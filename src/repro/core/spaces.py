@@ -57,11 +57,27 @@ class MaxRSResult:
     ``regions`` is ordered best-first; for exact/approximate top-1
     monitors it has length 0 (empty window) or 1, for top-k monitors up
     to ``k`` entries.
+
+    Every answer also carries its *quality contract*, so a consumer can
+    tell a degraded answer from an exact one without knowing which
+    monitor produced it (the overload degradation ladder switches
+    monitors mid-stream):
+
+    * ``mode`` — ``"exact"``, ``"approx"`` (ε-guaranteed branch-and-
+      bound) or ``"sampling"`` (probabilistic estimator);
+    * ``guarantee`` — the deterministic weight floor as a fraction of
+      the true optimum: 1.0 exact, ``1-ε`` approximate, 0.0 for
+      sampling (whose ``1-1/n``-probability bound is not a floor);
+    * ``stale_for`` — how many updates ago this answer was computed
+      (> 0 only when a circuit breaker serves a held answer).
     """
 
     regions: tuple[Region, ...] = ()
     tick: int = 0
     window_size: int = 0
+    mode: str = "exact"
+    guarantee: float = 1.0
+    stale_for: int = 0
 
     @property
     def best(self) -> Region | None:
@@ -79,10 +95,21 @@ class MaxRSResult:
 
     @classmethod
     def single(
-        cls, region: Region | None, tick: int = 0, window_size: int = 0
+        cls,
+        region: Region | None,
+        tick: int = 0,
+        window_size: int = 0,
+        mode: str = "exact",
+        guarantee: float = 1.0,
     ) -> "MaxRSResult":
         regions = (region,) if region is not None else ()
-        return cls(regions=regions, tick=tick, window_size=window_size)
+        return cls(
+            regions=regions,
+            tick=tick,
+            window_size=window_size,
+            mode=mode,
+            guarantee=guarantee,
+        )
 
     @classmethod
     def ranked(

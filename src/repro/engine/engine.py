@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, Sequence
 
 from repro.core.monitor import MaxRSMonitor
 from repro.core.objects import SpatialObject
@@ -30,7 +30,8 @@ from repro.errors import InvalidParameterError, StreamExhaustedWarning
 from repro.obs.metrics import Metrics, MetricsSnapshot
 from repro.streams.source import StreamSource
 
-if TYPE_CHECKING:  # resilience imports engine back; keep runtime lazy
+if TYPE_CHECKING:  # resilience/overload import engine back; keep runtime lazy
+    from repro.overload.backpressure import BackpressureQueue
     from repro.resilience.checkpoint import CheckpointManager
 
 __all__ = ["StreamEngine", "EngineReport"]
@@ -55,9 +56,24 @@ class EngineReport:
     batch_metrics: Dict[str, list[MetricsSnapshot]] = field(
         default_factory=dict
     )
+    # overload runs only: backpressure ledger, shed counts, per-monitor
+    # mode-residency timeline and staleness (see run_offered)
+    overload: dict[str, object] | None = None
+
+    def _stats(self, name: str) -> TimingStats:
+        stats = self.timings.get(name)
+        if stats is None:
+            attached = ", ".join(sorted(self.timings)) or "<none>"
+            raise InvalidParameterError(
+                f"unknown monitor {name!r}; report covers: {attached}"
+            )
+        return stats
 
     def mean_ms(self, name: str) -> float:
-        return self.timings[name].mean_ms
+        return self._stats(name).mean_ms
+
+    def p95_ms(self, name: str) -> float:
+        return self._stats(name).percentile(95.0) * 1000.0
 
     def table(self) -> str:
         """A small human-readable summary table."""
@@ -97,7 +113,7 @@ class EngineReport:
 
     def to_dict(self) -> dict[str, object]:
         """JSON-able document: timings summaries + metric snapshots."""
-        return {
+        doc: dict[str, object] = {
             "batches": self.batches,
             "requested_batches": self.requested_batches,
             "batch_size": self.batch_size,
@@ -113,6 +129,9 @@ class EngineReport:
                 for name, snaps in self.batch_metrics.items()
             },
         }
+        if self.overload is not None:
+            doc["overload"] = self.overload
+        return doc
 
 
 class StreamEngine:
@@ -132,6 +151,14 @@ class StreamEngine:
             notified after every successfully applied timed batch, so
             periodic checkpoints align with the engine's batch count
             (the position replayed on recovery).
+        backpressure: Optional
+            :class:`~repro.overload.backpressure.BackpressureQueue` —
+            the pluggable overload policy.  Arrivals offered through
+            :meth:`run_offered` pass through it (bounded depth, batch
+            coalescing, explicit shedding) and the report carries the
+            conservation ledger, shed counts and — for monitors with an
+            ``overload_summary()`` (the degradation ladder) — the
+            mode-residency timeline and staleness.
 
     An :class:`~repro.resilience.guard.IngestGuard` passed as the
     ``source`` is wired in automatically: with metrics enabled it gets
@@ -147,6 +174,7 @@ class StreamEngine:
         batch_size: int,
         metrics: Metrics | None = None,
         checkpoint: "CheckpointManager | None" = None,
+        backpressure: "BackpressureQueue | None" = None,
     ) -> None:
         if not monitors:
             raise InvalidParameterError("at least one monitor is required")
@@ -159,6 +187,7 @@ class StreamEngine:
         self._iterator = iter(source)
         self.metrics = metrics
         self.checkpoint = checkpoint
+        self.backpressure = backpressure
         self._scopes: Dict[str, Metrics] = {}
         if metrics is not None:
             for name, monitor in self.monitors.items():
@@ -171,6 +200,10 @@ class StreamEngine:
                 scope = metrics.scope("ingest")
                 source.attach_metrics(scope)
                 self._scopes["ingest"] = scope
+            if backpressure is not None:
+                scope = metrics.scope("backpressure")
+                backpressure.metrics = scope
+                self._scopes["backpressure"] = scope
 
     def _next_batch(self, size: int) -> list[SpatialObject]:
         batch: list[SpatialObject] = []
@@ -223,19 +256,7 @@ class StreamEngine:
             raise InvalidParameterError(
                 f"batch count must be positive, got {batches}"
             )
-        timings = {name: TimingStats() for name in self.monitors}
-        history: Dict[str, list[float]] = (
-            {name: [] for name in self.monitors} if track_weights else {}
-        )
-        final: Dict[str, MaxRSResult] = {}
-        observed = self.metrics is not None
-        previous: Dict[str, MetricsSnapshot] = {}
-        batch_metrics: Dict[str, list[MetricsSnapshot]] = {}
-        if observed:
-            previous = {
-                name: scope.snapshot() for name, scope in self._scopes.items()
-            }
-            batch_metrics = {name: [] for name in self.monitors}
+        state = _RunState(self, track_weights)
         executed = 0
         exhausted = False
         for _ in range(batches):
@@ -244,40 +265,178 @@ class StreamEngine:
                 exhausted = True
                 break
             executed += 1
-            for name, monitor in self.monitors.items():
-                start = time.perf_counter()
-                result = monitor.update(batch)
-                elapsed = time.perf_counter() - start
-                timings[name].record(elapsed)
-                final[name] = result
-                if track_weights:
-                    history[name].append(result.best_weight)
-                if observed:
-                    scope = self._scopes[name]
-                    scope.observe("update_ms", elapsed * 1000.0)
-                    snap = scope.snapshot()
-                    batch_metrics[name].append(snap.delta(previous[name]))
-                    previous[name] = snap
-            if self.checkpoint is not None:
-                self.checkpoint.note_batch()
+            state.apply(batch)
         if exhausted:
             warnings.warn(
                 f"stream exhausted after {executed} of {batches} batches",
                 StreamExhaustedWarning,
                 stacklevel=2,
             )
-        return EngineReport(
+        return state.report(
             batches=executed,
-            batch_size=self.batch_size,
-            timings=timings,
-            final_results=final,
-            weight_history=history,
             requested_batches=batches,
             source_exhausted=exhausted,
+        )
+
+    def run_offered(
+        self,
+        arrivals: Sequence[int],
+        track_weights: bool = False,
+        on_batch: (
+            "Callable[[int, list[SpatialObject], Dict[str, MaxRSResult]],"
+            " None] | None"
+        ) = None,
+    ) -> EngineReport:
+        """Push-mode run through the backpressure queue.
+
+        Each entry of ``arrivals`` is one tick of the arrival process:
+        that many objects are pulled from the source and *offered* to
+        the :class:`~repro.overload.backpressure.BackpressureQueue`,
+        then one coalesced batch (bounded by the queue's ``max_batch``)
+        is drained and pushed through every monitor.  When arrivals
+        outrun the drain rate the queue absorbs, sheds or refuses per
+        its policy — objects refused under ``BLOCK`` wait upstream and
+        are re-offered on the next tick, which is what backpressure
+        means for a pull-based producer.
+
+        The report's ``overload`` field carries the conservation ledger
+        (``offered == processed + shed + refused + pending``), shed
+        counts, queue high-water mark, and — for monitors exposing
+        ``overload_summary()`` — the mode-residency timeline and
+        staleness.
+
+        ``on_batch`` (if given) is called after every applied coalesced
+        batch with ``(batch_index, batch, results)`` — the overload
+        soak harness uses it for its periodic exact-companion guarantee
+        checks.
+        """
+        if self.backpressure is None:
+            raise InvalidParameterError(
+                "run_offered needs a BackpressureQueue; construct the "
+                "engine with backpressure=BackpressureQueue(...)"
+            )
+        queue = self.backpressure
+        state = _RunState(self, track_weights)
+        executed = 0
+        exhausted = False
+        holdover: list[SpatialObject] = []
+        for count in arrivals:
+            if count < 0:
+                raise InvalidParameterError(
+                    f"arrival counts must be >= 0, got {count}"
+                )
+            fresh = self._next_batch(count) if count > 0 else []
+            if count > 0 and len(fresh) < count:
+                exhausted = True
+            holdover = queue.offer_all(holdover + fresh)
+            batch = queue.take_batch()
+            if batch:
+                executed += 1
+                backlog = queue.pending + len(holdover)
+                for monitor in self.monitors.values():
+                    pressure = getattr(monitor, "note_pressure", None)
+                    if pressure is not None:
+                        pressure(backlog)
+                state.apply(batch)
+                if on_batch is not None:
+                    on_batch(executed - 1, batch, state.final)
+            if exhausted and not holdover and queue.pending == 0:
+                break
+        if exhausted:
+            warnings.warn(
+                f"stream exhausted after {executed} coalesced batches",
+                StreamExhaustedWarning,
+                stacklevel=2,
+            )
+        overload: dict[str, object] = {
+            "policy": queue.policy.value,
+            "ledger": queue.ledger,
+            "ledger_closed": queue.ledger_closed,
+            "shed": queue.shed,
+            "refused": queue.refused,
+            "queue_high_water": queue.high_water,
+            "queue_pending": queue.pending,
+            "monitors": {
+                name: monitor.overload_summary()
+                for name, monitor in self.monitors.items()
+                if hasattr(monitor, "overload_summary")
+            },
+        }
+        return state.report(
+            batches=executed,
+            requested_batches=len(arrivals),
+            source_exhausted=exhausted,
+            overload=overload,
+        )
+
+
+class _RunState:
+    """Shared per-batch bookkeeping of the pull and push run loops:
+    timings, weight history, metric snapshot deltas, checkpoints."""
+
+    def __init__(self, engine: StreamEngine, track_weights: bool) -> None:
+        self.engine = engine
+        self.track_weights = track_weights
+        self.timings = {name: TimingStats() for name in engine.monitors}
+        self.history: Dict[str, list[float]] = (
+            {name: [] for name in engine.monitors} if track_weights else {}
+        )
+        self.final: Dict[str, MaxRSResult] = {}
+        self.observed = engine.metrics is not None
+        self.previous: Dict[str, MetricsSnapshot] = {}
+        self.batch_metrics: Dict[str, list[MetricsSnapshot]] = {}
+        self.batch_sizes: list[int] = []
+        if self.observed:
+            self.previous = {
+                name: scope.snapshot()
+                for name, scope in engine._scopes.items()
+            }
+            self.batch_metrics = {name: [] for name in engine.monitors}
+
+    def apply(self, batch: list[SpatialObject]) -> None:
+        engine = self.engine
+        self.batch_sizes.append(len(batch))
+        for name, monitor in engine.monitors.items():
+            start = time.perf_counter()
+            result = monitor.update(batch)
+            elapsed = time.perf_counter() - start
+            self.timings[name].record(elapsed)
+            self.final[name] = result
+            if self.track_weights:
+                self.history[name].append(result.best_weight)
+            if self.observed:
+                scope = engine._scopes[name]
+                scope.observe("update_ms", elapsed * 1000.0)
+                snap = scope.snapshot()
+                self.batch_metrics[name].append(snap.delta(self.previous[name]))
+                self.previous[name] = snap
+        if engine.checkpoint is not None:
+            engine.checkpoint.note_batch()
+
+    def report(
+        self,
+        batches: int,
+        requested_batches: int,
+        source_exhausted: bool,
+        overload: dict[str, object] | None = None,
+    ) -> EngineReport:
+        engine = self.engine
+        return EngineReport(
+            batches=batches,
+            batch_size=engine.batch_size,
+            timings=self.timings,
+            final_results=self.final,
+            weight_history=self.history,
+            requested_batches=requested_batches,
+            source_exhausted=source_exhausted,
             metrics=(
-                {name: scope.snapshot() for name, scope in self._scopes.items()}
-                if observed
+                {
+                    name: scope.snapshot()
+                    for name, scope in engine._scopes.items()
+                }
+                if self.observed
                 else {}
             ),
-            batch_metrics=batch_metrics,
+            batch_metrics=self.batch_metrics,
+            overload=overload,
         )

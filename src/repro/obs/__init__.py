@@ -14,6 +14,7 @@ from repro.obs.export import (
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
+    Ewma,
     Gauge,
     Histogram,
     Metrics,
@@ -23,6 +24,7 @@ from repro.obs.metrics import (
 
 __all__ = [
     "Counter",
+    "Ewma",
     "Gauge",
     "Histogram",
     "Metrics",

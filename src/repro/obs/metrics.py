@@ -31,6 +31,7 @@ from repro.errors import InvalidParameterError
 
 __all__ = [
     "Counter",
+    "Ewma",
     "Gauge",
     "Histogram",
     "Metrics",
@@ -159,6 +160,42 @@ class Histogram:
         self.bins = [0] * len(self.bins)
 
 
+class Ewma:
+    """Exponentially weighted moving average of an observed series.
+
+    The smoothing primitive behind latency-based control loops (the
+    overload :class:`~repro.overload.controller.DeadlineController`
+    tracks ``update_ms`` through one of these): ``value`` follows the
+    series with weight ``alpha`` on the newest sample, and the first
+    sample seeds it directly, so the average is meaningful from the
+    first observation on.  Snapshots report it alongside gauges.
+    """
+
+    __slots__ = ("name", "alpha", "value", "count")
+
+    def __init__(self, name: str, alpha: float = 0.3) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise InvalidParameterError(
+                f"ewma {name!r} alpha must be in (0, 1], got {alpha}"
+            )
+        self.name = name
+        self.alpha = float(alpha)
+        self.value = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> float:
+        if self.count == 0:
+            self.value = float(value)
+        else:
+            self.value += self.alpha * (float(value) - self.value)
+        self.count += 1
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.count = 0
+
+
 @dataclass(frozen=True)
 class MetricsSnapshot:
     """Point-in-time, plain-data view of a registry (dotted flat names)."""
@@ -220,13 +257,21 @@ class Metrics:
     (``window.insertions``).
     """
 
-    __slots__ = ("namespace", "_counters", "_gauges", "_histograms", "_scopes")
+    __slots__ = (
+        "namespace",
+        "_counters",
+        "_gauges",
+        "_histograms",
+        "_ewmas",
+        "_scopes",
+    )
 
     def __init__(self, namespace: str = "") -> None:
         self.namespace = namespace
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._ewmas: Dict[str, Ewma] = {}
         self._scopes: Dict[str, Metrics] = {}
 
     # -- structure ---------------------------------------------------------
@@ -271,6 +316,13 @@ class Metrics:
             self._histograms[name] = instrument
         return instrument
 
+    def ewma(self, name: str, alpha: float = 0.3) -> Ewma:
+        instrument = self._ewmas.get(name)
+        if instrument is None:
+            instrument = Ewma(name, alpha=alpha)
+            self._ewmas[name] = instrument
+        return instrument
+
     # -- hot-path conveniences ---------------------------------------------
 
     def inc(self, name: str, amount: float = 1.0) -> None:
@@ -305,6 +357,9 @@ class Metrics:
             counters[prefix + name] = c.value
         for name, g in self._gauges.items():
             gauges[prefix + name] = g.value
+        # EWMAs snapshot as gauges: a level, not a monotone count
+        for name, e in self._ewmas.items():
+            gauges[prefix + name] = e.value
         for name, h in self._histograms.items():
             histograms[prefix + name] = h.summary()
         for name, child in self._scopes.items():
@@ -318,6 +373,8 @@ class Metrics:
             g.reset()
         for h in self._histograms.values():
             h.reset()
+        for e in self._ewmas.values():
+            e.reset()
         for child in self._scopes.values():
             child.reset()
 
@@ -383,6 +440,9 @@ class NullMetrics(Metrics):
     def histogram(
         self, name: str, buckets: Iterable[float] | None = None
     ) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def ewma(self, name: str, alpha: float = 0.3) -> Ewma:
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
     def inc(self, name: str, amount: float = 1.0) -> None:

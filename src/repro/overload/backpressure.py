@@ -1,0 +1,204 @@
+"""Bounded arrival buffer with shed policies and a conservation ledger.
+
+:class:`BackpressureQueue` sits between a stream source and the
+monitors.  Arrivals are *offered* to the queue; the engine *takes*
+coalesced batches out of it at whatever pace the monitors sustain.
+When arrivals outrun the drain rate the queue fills, and the configured
+:class:`ShedPolicy` decides what gives:
+
+* ``BLOCK`` — nothing is dropped; excess offers are *refused* and stay
+  upstream (the producer waits).  Queue depth stays bounded, arrival
+  latency grows.
+* ``SHED_OLDEST`` — the oldest *pending* object is dropped to make
+  room.  Freshness-biased: right for monitoring, where a stale object
+  is about to expire from the window anyway.
+* ``SHED_NEWEST`` — the incoming object is dropped.  Keeps the oldest
+  backlog intact (at-most-once admission order preserved).
+
+Every object is accounted for exactly once, mirroring the dead-letter
+accounting of :mod:`repro.resilience`:
+
+    ``offered == processed + shed + refused + pending``
+
+which :attr:`BackpressureQueue.ledger_closed` verifies and the overload
+soak harness asserts at end of run.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Dict, Iterable, Sequence
+
+from repro.core.objects import SpatialObject
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import NULL_METRICS, Metrics
+
+__all__ = ["BackpressureQueue", "ShedPolicy"]
+
+
+class ShedPolicy(enum.Enum):
+    """What a full queue does with the overflow."""
+
+    BLOCK = "block"
+    SHED_OLDEST = "shed_oldest"
+    SHED_NEWEST = "shed_newest"
+
+    @classmethod
+    def coerce(cls, value: "ShedPolicy | str") -> "ShedPolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower().replace("-", "_"))
+        except ValueError:
+            choices = ", ".join(p.value for p in cls)
+            raise InvalidParameterError(
+                f"unknown shed policy {value!r}; choose one of {choices}"
+            ) from None
+
+
+class BackpressureQueue:
+    """Bounded FIFO arrival buffer with coalescing batch drains.
+
+    Args:
+        capacity: Maximum number of buffered objects.
+        policy: What happens to overflow (see :class:`ShedPolicy`).
+        max_batch: Coalescing limit — :meth:`take_batch` never returns
+            more than this many objects, so a deep backlog drains as a
+            few large (but bounded) batches instead of one giant one.
+        metrics: Optional scope; emits the ``queue_depth`` gauge and
+            ``shed_objects`` / ``refused_objects`` / ``coalesced_batches``
+            counters.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: ShedPolicy | str = ShedPolicy.SHED_OLDEST,
+        max_batch: int | None = None,
+        metrics: Metrics = NULL_METRICS,
+    ) -> None:
+        if capacity <= 0:
+            raise InvalidParameterError(
+                f"queue capacity must be positive, got {capacity}"
+            )
+        if max_batch is not None and max_batch <= 0:
+            raise InvalidParameterError(
+                f"max_batch must be positive, got {max_batch}"
+            )
+        self.capacity = int(capacity)
+        self.policy = ShedPolicy.coerce(policy)
+        self.max_batch = int(max_batch) if max_batch is not None else None
+        self.metrics = metrics
+        self._items: Deque[SpatialObject] = deque()
+        # conservation ledger
+        self.offered = 0
+        self.processed = 0
+        self.shed_oldest = 0
+        self.shed_newest = 0
+        self.refused = 0
+        self.high_water = 0  # deepest the queue ever got
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Objects buffered and not yet taken."""
+        return len(self._items)
+
+    @property
+    def shed(self) -> int:
+        """Objects dropped by either shedding policy."""
+        return self.shed_oldest + self.shed_newest
+
+    @property
+    def ledger(self) -> Dict[str, int]:
+        """The conservation ledger as plain data."""
+        return {
+            "offered": self.offered,
+            "processed": self.processed,
+            "shed_oldest": self.shed_oldest,
+            "shed_newest": self.shed_newest,
+            "refused": self.refused,
+            "pending": self.pending,
+            "high_water": self.high_water,
+        }
+
+    @property
+    def ledger_closed(self) -> bool:
+        """True iff no object is unaccounted for."""
+        return self.offered == (
+            self.processed + self.shed + self.refused + self.pending
+        )
+
+    # -- producer side -------------------------------------------------------
+
+    def offer(self, obj: SpatialObject) -> bool:
+        """Offer one object; return False iff it was refused (``BLOCK``).
+
+        Under the shedding policies the offer always succeeds — either
+        the object enters the queue or a shed makes room / absorbs it —
+        and the shed is counted in the ledger.
+        """
+        self.offered += 1
+        if len(self._items) >= self.capacity:
+            if self.policy is ShedPolicy.BLOCK:
+                self.refused += 1
+                self.metrics.inc("refused_objects")
+                return False
+            if self.policy is ShedPolicy.SHED_OLDEST:
+                self._items.popleft()
+                self.shed_oldest += 1
+                self.metrics.inc("shed_objects")
+            else:  # SHED_NEWEST: the incoming object is the casualty
+                self.shed_newest += 1
+                self.metrics.inc("shed_objects")
+                self.metrics.set_gauge("queue_depth", len(self._items))
+                return True
+        self._items.append(obj)
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+        self.metrics.set_gauge("queue_depth", len(self._items))
+        return True
+
+    def offer_all(
+        self, objects: Iterable[SpatialObject]
+    ) -> list[SpatialObject]:
+        """Offer many objects; return the ones *refused* (``BLOCK`` only).
+
+        The caller owns refused objects — under BLOCK they never entered
+        the queue and should be re-offered once depth recedes.
+        """
+        back: list[SpatialObject] = []
+        for obj in objects:
+            if not self.offer(obj):
+                back.append(obj)
+        return back
+
+    # -- consumer side -------------------------------------------------------
+
+    def take_batch(self, max_size: int | None = None) -> list[SpatialObject]:
+        """Drain up to ``max_size`` (default: the queue's ``max_batch``)
+        objects as one coalesced arrival batch, oldest first."""
+        limit = max_size if max_size is not None else self.max_batch
+        if limit is not None and limit <= 0:
+            raise InvalidParameterError(
+                f"batch limit must be positive, got {limit}"
+            )
+        items = self._items
+        if limit is None or limit >= len(items):
+            batch = list(items)
+            items.clear()
+        else:
+            batch = [items.popleft() for _ in range(limit)]
+        self.processed += len(batch)
+        if len(batch) > 0:
+            self.metrics.inc("coalesced_batches")
+            self.metrics.inc("processed_objects", len(batch))
+        self.metrics.set_gauge("queue_depth", len(items))
+        return batch
+
+    def drain(self, batch_size: int) -> Iterable[Sequence[SpatialObject]]:
+        """Yield coalesced batches until the queue is empty."""
+        while self._items:
+            yield self.take_batch(batch_size)

@@ -1,0 +1,158 @@
+"""Circuit breaker: serve stale answers instead of melting down.
+
+The degradation ladder handles *sustained* overload by trading accuracy
+for speed.  The breaker handles the pathological tail beyond it — a
+monitor that keeps blowing its deadline even at the cheapest rung, or
+one that the :class:`~repro.resilience.supervisor.MonitorSupervisor`
+keeps healing (repeated index rebuilds are a symptom, not a fix).
+
+Classic three-state machine, measured in *updates* rather than
+wall-clock (the library is single-threaded and batch-driven):
+
+* **CLOSED** — normal operation.  ``trip_after`` consecutive
+  over-deadline updates, or ``heal_trip_after`` supervisor heals since
+  the last close, trip it OPEN.
+* **OPEN** — the caller should *not* run the monitor; it serves the
+  last known-good result with a staleness tick instead.  After
+  ``cooldown`` skipped updates the breaker moves to HALF_OPEN.
+* **HALF_OPEN** — exactly one probe update is allowed through.  Within
+  deadline → CLOSED (counters reset); over → OPEN again, cooldown
+  restarted.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import NULL_METRICS, Metrics
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-monitor closed/open/half-open protection.
+
+    Args:
+        trip_after: Consecutive over-deadline updates that trip the
+            breaker open.
+        cooldown: Updates to skip (serving stale) before probing.
+        heal_trip_after: Supervisor heals since the last close that
+            trip the breaker (0 disables heal-tripping).
+        metrics: Optional scope; emits ``breaker_trips`` /
+            ``breaker_probes`` / ``breaker_closes`` counters and the
+            ``breaker_state`` gauge (0 closed, 1 half-open, 2 open).
+    """
+
+    _STATE_GAUGE = {
+        BreakerState.CLOSED: 0.0,
+        BreakerState.HALF_OPEN: 1.0,
+        BreakerState.OPEN: 2.0,
+    }
+
+    def __init__(
+        self,
+        trip_after: int = 5,
+        cooldown: int = 10,
+        heal_trip_after: int = 2,
+        metrics: Metrics = NULL_METRICS,
+    ) -> None:
+        if trip_after <= 0:
+            raise InvalidParameterError(
+                f"trip_after must be positive, got {trip_after}"
+            )
+        if cooldown <= 0:
+            raise InvalidParameterError(
+                f"cooldown must be positive, got {cooldown}"
+            )
+        if heal_trip_after < 0:
+            raise InvalidParameterError(
+                f"heal_trip_after must be >= 0, got {heal_trip_after}"
+            )
+        self.trip_after = int(trip_after)
+        self.cooldown = int(cooldown)
+        self.heal_trip_after = int(heal_trip_after)
+        self.metrics = metrics
+        self.state = BreakerState.CLOSED
+        self.trips = 0
+        self.stale_served = 0
+        self._consecutive_breaches = 0
+        self._heals = 0
+        self._cooldown_left = 0
+
+    # -- caller protocol ----------------------------------------------------
+
+    def allow_update(self) -> bool:
+        """Ask before each update: run the monitor, or serve stale?
+
+        OPEN decrements the cooldown and refuses; when the cooldown
+        expires the breaker turns HALF_OPEN and admits one probe.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self.state = BreakerState.HALF_OPEN
+                self.metrics.inc("breaker_probes")
+                self._emit_state()
+                return True
+            self.stale_served += 1
+            self.metrics.inc("stale_served")
+            return False
+        # HALF_OPEN with no verdict yet: keep admitting the probe
+        return True
+
+    def record_update(self, over_deadline: bool) -> None:
+        """Report the outcome of an admitted update."""
+        if self.state is BreakerState.HALF_OPEN:
+            if over_deadline:
+                self._trip("probe_failed")
+            else:
+                self._close()
+            return
+        if over_deadline:
+            self._consecutive_breaches += 1
+            if self._consecutive_breaches >= self.trip_after:
+                self._trip("consecutive_deadline_breaches")
+        else:
+            self._consecutive_breaches = 0
+
+    def note_heal(self, cause: BaseException | None = None) -> None:
+        """A supervisor healed the monitor; repeated heals trip us."""
+        if self.heal_trip_after <= 0:
+            return
+        self._heals += 1
+        self.metrics.inc("heals_observed")
+        if (
+            self.state is BreakerState.CLOSED
+            and self._heals >= self.heal_trip_after
+        ):
+            self._trip("supervisor_heals")
+
+    # -- transitions --------------------------------------------------------
+
+    def _trip(self, reason: str) -> None:
+        self.state = BreakerState.OPEN
+        self.trips += 1
+        self._cooldown_left = self.cooldown
+        self._consecutive_breaches = 0
+        self.metrics.inc("breaker_trips")
+        self.metrics.inc(f"breaker_trips_{reason}")
+        self._emit_state()
+
+    def _close(self) -> None:
+        self.state = BreakerState.CLOSED
+        self._consecutive_breaches = 0
+        self._heals = 0
+        self.metrics.inc("breaker_closes")
+        self._emit_state()
+
+    def _emit_state(self) -> None:
+        self.metrics.set_gauge("breaker_state", self._STATE_GAUGE[self.state])

@@ -66,6 +66,12 @@ class MonitorSupervisor:
         metrics: Observability scope; counters ``monitor_failures``,
             ``invariant_failures``, ``heals``, ``batches_rejected``,
             ``objects_resurrected``.
+        on_heal: Optional callback invoked (with the triggering
+            exception) after every successful heal.  This is how heal
+            events feed an overload
+            :class:`~repro.overload.breaker.CircuitBreaker`: repeated
+            index rebuilds are a symptom that serving stale answers
+            beats continuing to limp (pass ``breaker.note_heal``).
     """
 
     def __init__(
@@ -76,11 +82,13 @@ class MonitorSupervisor:
         max_heals: int | None = None,
         rebuild: Callable[[], MaxRSMonitor] | None = None,
         metrics: Metrics = NULL_METRICS,
+        on_heal: Callable[[BaseException], None] | None = None,
     ) -> None:
         self._monitor = monitor
         self.probe_every = max(0, int(probe_every))
         self.max_heals = max_heals
         self._rebuild = rebuild
+        self.on_heal = on_heal
         self.metrics = metrics
         self.failures = 0  # update/ingest raised mid-flight
         self.invariant_failures = 0  # probe caught corruption
@@ -204,6 +212,8 @@ class MonitorSupervisor:
         self._updates_since_probe = 0
         self.metrics.inc("heals")
         self.metrics.inc("objects_resurrected", len(survivors))
+        if self.on_heal is not None:
+            self.on_heal(cause)
 
 
 class RetryingSource(StreamSource):

@@ -36,6 +36,32 @@ class TestApproxMonitor:
         with pytest.raises(InvalidParameterError):
             ApproxAG2Monitor(10, 10, CountWindow(5), epsilon=1.0)
 
+    @pytest.mark.parametrize(
+        "epsilon", [1.5, -0.1, float("inf"), float("-inf"), float("nan")]
+    )
+    def test_out_of_range_epsilon_rejected(self, epsilon):
+        """Regression: out-of-range and non-finite tolerances must fail
+        fast at construction — a nan epsilon would silently disable the
+        (1-ε) floor the monitor advertises."""
+        with pytest.raises(InvalidParameterError):
+            ApproxAG2Monitor(10, 10, CountWindow(5), epsilon=epsilon)
+
+    @pytest.mark.parametrize("epsilon", [1.0, 1.5, -0.1, float("nan")])
+    def test_base_monitor_rejects_vacuous_epsilon(self, epsilon):
+        with pytest.raises(InvalidParameterError):
+            AG2Monitor(10, 10, CountWindow(5), epsilon=epsilon)
+
+    def test_result_carries_quality_contract(self):
+        approx = ApproxAG2Monitor(10, 10, CountWindow(30), epsilon=0.25)
+        exact = AG2Monitor(10, 10, CountWindow(30), epsilon=0.0)
+        batch = make_objects(12, seed=3, domain=60.0)
+        a = approx.update(batch)
+        assert a.mode == "approx"
+        assert a.guarantee == pytest.approx(0.75)
+        b = exact.update(batch)
+        assert b.mode == "exact"
+        assert b.guarantee == 1.0
+
     def test_epsilon_zero_on_base_is_exact(self):
         exact = AG2Monitor(10, 10, CountWindow(30), epsilon=0.0)
         naive = NaiveMonitor(10, 10, CountWindow(30))

@@ -1,0 +1,163 @@
+"""BackpressureQueue: bounded depth, shed policies, conservation ledger."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_objects
+from repro.errors import InvalidParameterError
+from repro.obs import Metrics
+from repro.overload import BackpressureQueue, ShedPolicy
+
+
+class TestShedPolicy:
+    def test_coerce_strings(self):
+        assert ShedPolicy.coerce("block") is ShedPolicy.BLOCK
+        assert ShedPolicy.coerce("SHED_OLDEST") is ShedPolicy.SHED_OLDEST
+        assert ShedPolicy.coerce("shed-newest") is ShedPolicy.SHED_NEWEST
+        assert ShedPolicy.coerce(ShedPolicy.BLOCK) is ShedPolicy.BLOCK
+
+    def test_coerce_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ShedPolicy.coerce("drop_everything")
+
+
+class TestConstruction:
+    def test_capacity_validated(self):
+        with pytest.raises(InvalidParameterError):
+            BackpressureQueue(0)
+        with pytest.raises(InvalidParameterError):
+            BackpressureQueue(-5)
+
+    def test_max_batch_validated(self):
+        with pytest.raises(InvalidParameterError):
+            BackpressureQueue(10, max_batch=0)
+
+
+class TestOfferAndTake:
+    def test_fifo_order_preserved(self):
+        queue = BackpressureQueue(10)
+        objects = make_objects(6)
+        assert queue.offer_all(objects) == []
+        assert queue.take_batch() == objects
+
+    def test_take_batch_respects_limit(self):
+        queue = BackpressureQueue(10, max_batch=4)
+        objects = make_objects(10)
+        queue.offer_all(objects)
+        first = queue.take_batch()
+        assert first == objects[:4]
+        assert queue.take_batch(2) == objects[4:6]
+        assert queue.take_batch() == objects[6:10]
+        assert queue.pending == 0
+
+    def test_take_batch_limit_validated(self):
+        queue = BackpressureQueue(10)
+        with pytest.raises(InvalidParameterError):
+            queue.take_batch(0)
+
+    def test_drain_yields_until_empty(self):
+        queue = BackpressureQueue(20)
+        queue.offer_all(make_objects(10))
+        batches = list(queue.drain(3))
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        assert queue.pending == 0
+
+    def test_high_water_tracks_deepest_point(self):
+        queue = BackpressureQueue(100)
+        queue.offer_all(make_objects(7))
+        queue.take_batch(5)
+        queue.offer_all(make_objects(2, seed=1))
+        assert queue.high_water == 7
+
+
+class TestBlockPolicy:
+    def test_refuses_when_full(self):
+        queue = BackpressureQueue(3, policy=ShedPolicy.BLOCK)
+        objects = make_objects(5)
+        refused = queue.offer_all(objects)
+        assert refused == objects[3:]
+        assert queue.pending == 3
+        assert queue.refused == 2
+        assert queue.ledger_closed
+
+    def test_refused_can_reenter_after_drain(self):
+        queue = BackpressureQueue(3, policy="block")
+        objects = make_objects(5)
+        refused = queue.offer_all(objects)
+        queue.take_batch()
+        assert queue.offer_all(refused) == []
+        assert queue.take_batch() == objects[3:]
+        assert queue.ledger_closed
+
+
+class TestSheddingPolicies:
+    def test_shed_oldest_keeps_freshest(self):
+        queue = BackpressureQueue(3, policy=ShedPolicy.SHED_OLDEST)
+        objects = make_objects(5)
+        assert queue.offer_all(objects) == []  # shedding never refuses
+        assert queue.take_batch() == objects[2:]  # oldest two gave way
+        assert queue.shed_oldest == 2 and queue.shed_newest == 0
+        assert queue.ledger_closed
+
+    def test_shed_newest_keeps_backlog(self):
+        queue = BackpressureQueue(3, policy=ShedPolicy.SHED_NEWEST)
+        objects = make_objects(5)
+        assert queue.offer_all(objects) == []
+        assert queue.take_batch() == objects[:3]  # incoming were dropped
+        assert queue.shed_newest == 2 and queue.shed_oldest == 0
+        assert queue.ledger_closed
+
+    def test_depth_never_exceeds_capacity(self):
+        for policy in ShedPolicy:
+            queue = BackpressureQueue(4, policy=policy)
+            queue.offer_all(make_objects(25))
+            assert queue.pending <= 4
+            assert queue.high_water <= 4
+
+
+class TestLedger:
+    @pytest.mark.parametrize("policy", list(ShedPolicy))
+    def test_ledger_closes_under_random_workload(self, policy):
+        rng = random.Random(7)
+        queue = BackpressureQueue(8, policy=policy, max_batch=5)
+        offered_back: list = []
+        for step in range(60):
+            arrivals = make_objects(rng.randrange(0, 7), seed=step)
+            offered_back = queue.offer_all(offered_back + arrivals)
+            if rng.random() < 0.7:
+                queue.take_batch()
+            assert queue.ledger_closed
+        ledger = queue.ledger
+        assert ledger["offered"] == queue.offered
+        assert ledger["pending"] == queue.pending
+
+    def test_ledger_is_plain_data(self):
+        queue = BackpressureQueue(4)
+        queue.offer_all(make_objects(6))
+        queue.take_batch(2)
+        ledger = queue.ledger
+        assert ledger == {
+            "offered": 6,
+            "processed": 2,
+            "shed_oldest": 2,
+            "shed_newest": 0,
+            "refused": 0,
+            "pending": 2,
+            "high_water": 4,
+        }
+
+
+class TestMetrics:
+    def test_counters_and_gauges_emitted(self):
+        metrics = Metrics("bp")
+        queue = BackpressureQueue(3, metrics=metrics, max_batch=2)
+        queue.offer_all(make_objects(5))
+        queue.take_batch()
+        snap = metrics.snapshot()
+        assert snap.counters["shed_objects"] == 2
+        assert snap.counters["coalesced_batches"] == 1
+        assert snap.counters["processed_objects"] == 2
+        assert snap.gauges["queue_depth"] == 1

@@ -1,0 +1,122 @@
+"""CircuitBreaker: trip conditions, cooldown probing, stale accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs import Metrics
+from repro.overload import BreakerState, CircuitBreaker
+
+
+def trip(breaker: CircuitBreaker) -> None:
+    """Drive a closed breaker open via consecutive deadline breaches."""
+    for _ in range(breaker.trip_after):
+        breaker.record_update(over_deadline=True)
+    assert breaker.state is BreakerState.OPEN
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"trip_after": 0},
+            {"cooldown": 0},
+            {"heal_trip_after": -1},
+        ],
+    )
+    def test_parameters_validated(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker(**kwargs)
+
+    def test_starts_closed(self):
+        breaker = CircuitBreaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow_update()
+
+
+class TestTripping:
+    def test_trips_after_consecutive_breaches(self):
+        breaker = CircuitBreaker(trip_after=3)
+        breaker.record_update(True)
+        breaker.record_update(True)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_update(True)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(trip_after=2)
+        breaker.record_update(True)
+        breaker.record_update(False)  # streak broken
+        breaker.record_update(True)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_heals_trip_when_repeated(self):
+        breaker = CircuitBreaker(heal_trip_after=2)
+        breaker.note_heal()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.note_heal()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_heal_tripping_disabled_with_zero(self):
+        breaker = CircuitBreaker(heal_trip_after=0)
+        for _ in range(10):
+            breaker.note_heal()
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestCooldownAndProbe:
+    def test_open_serves_stale_until_cooldown_expires(self):
+        breaker = CircuitBreaker(trip_after=1, cooldown=3)
+        trip(breaker)
+        assert not breaker.allow_update()
+        assert not breaker.allow_update()
+        assert breaker.stale_served == 2
+        # cooldown expired: one probe admitted
+        assert breaker.allow_update()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(trip_after=1, cooldown=1)
+        trip(breaker)
+        assert breaker.allow_update()  # immediate probe (cooldown=1)
+        breaker.record_update(over_deadline=False)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow_update()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker = CircuitBreaker(trip_after=1, cooldown=2)
+        trip(breaker)
+        assert not breaker.allow_update()
+        assert breaker.allow_update()  # probe
+        breaker.record_update(over_deadline=True)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow_update()  # cooldown restarted
+
+    def test_close_resets_breach_and_heal_counters(self):
+        breaker = CircuitBreaker(trip_after=2, cooldown=1, heal_trip_after=2)
+        breaker.note_heal()  # one heal banked
+        trip(breaker)
+        assert breaker.allow_update()
+        breaker.record_update(False)  # probe succeeds -> CLOSED, counters reset
+        breaker.note_heal()  # banked heal forgotten: this is heal #1 again
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestMetrics:
+    def test_counters_and_state_gauge(self):
+        metrics = Metrics("breaker")
+        breaker = CircuitBreaker(trip_after=1, cooldown=2, metrics=metrics)
+        trip(breaker)
+        breaker.allow_update()  # stale
+        breaker.allow_update()  # probe
+        breaker.record_update(False)
+        snap = metrics.snapshot()
+        assert snap.counters["breaker_trips"] == 1
+        assert snap.counters["breaker_trips_consecutive_deadline_breaches"] == 1
+        assert snap.counters["stale_served"] == 1
+        assert snap.counters["breaker_probes"] == 1
+        assert snap.counters["breaker_closes"] == 1
+        assert snap.gauges["breaker_state"] == 0.0

@@ -140,6 +140,59 @@ class TestReorderBuffer:
         with pytest.raises(InvalidParameterError):
             ReorderBuffer(max_lateness=-1.0)
 
+    def test_equal_timestamps_released_once_in_arrival_order(self):
+        """Ties share one timestamp but must come out exactly once
+        each, in the order they went in (x marks arrival order)."""
+        buf = ReorderBuffer(max_lateness=2.0)
+        emitted = []
+        for i in range(3):
+            emitted.extend(buf.offer(obj(5.0, x=float(i))))
+        assert emitted == []  # watermark 3.0 — all three held back
+        assert buf.pending == 3
+        # advancing the watermark past 5.0 releases the whole tie group
+        emitted.extend(buf.offer(obj(8.0, x=99.0)))
+        assert [(o.timestamp, o.x) for o in emitted] == [
+            (5.0, 0.0),
+            (5.0, 1.0),
+            (5.0, 2.0),
+        ]
+        assert buf.pending == 1  # only the watermark-advancing record
+        assert [(o.timestamp, o.x) for o in buf.flush()] == [(8.0, 99.0)]
+
+    def test_ties_straddling_watermark_boundary(self):
+        """A tie group arriving exactly at the watermark: members on
+        both sides of the boundary are each released exactly once."""
+        buf = ReorderBuffer(max_lateness=2.0)
+        assert buf.offer(obj(10.0, x=0.0)) is not None  # watermark -> 8.0
+        # timestamp == watermark is on time (strict < classifies late)
+        first = buf.offer(obj(8.0, x=1.0))
+        assert [o.x for o in first] == [1.0]
+        # a second identical stamp after its twin was already released
+        # must come out again (once), not be deduplicated or dropped
+        second = buf.offer(obj(8.0, x=2.0))
+        assert [o.x for o in second] == [2.0]
+        # below the watermark the tie rule no longer applies: too late
+        assert buf.offer(obj(7.9, x=3.0)) is None
+        leftovers = buf.flush()
+        assert [o.x for o in leftovers] == [0.0]
+        total = first + second + leftovers
+        assert sorted(o.x for o in total) == [0.0, 1.0, 2.0]
+
+    def test_tie_group_split_by_late_arrival_keeps_arrival_order(self):
+        """Ties buffered across separate offers interleave with an
+        intervening smaller timestamp, still in timestamp-then-arrival
+        order on release."""
+        buf = ReorderBuffer(max_lateness=5.0)
+        for ts, x in [(4.0, 0.0), (4.0, 1.0), (3.0, 2.0), (4.0, 3.0)]:
+            assert buf.offer(obj(ts, x=x)) == []
+        released = buf.flush()
+        assert [(o.timestamp, o.x) for o in released] == [
+            (3.0, 2.0),
+            (4.0, 0.0),
+            (4.0, 1.0),
+            (4.0, 3.0),
+        ]
+
 
 class TestIngestGuardPolicies:
     def test_quarantine_captures_with_reason(self):
