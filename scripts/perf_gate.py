@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
-"""CI perf-regression smoke gate over a ``maxrs-stream profile`` JSON.
+"""CI perf-regression gates.
 
-Asserts the pruning behaviour the paper's §7 evaluation is built on —
+Two modes:
+
+**Profile mode** (original) — over a ``maxrs-stream profile`` JSON,
+asserts the pruning behaviour the paper's §7 evaluation is built on —
 the properties a refactor is most likely to degrade silently:
 
 1. aG2 visits strictly fewer cells than G2 (branch-and-bound skips
@@ -14,17 +17,38 @@ Usage::
     maxrs-stream profile --window 2000 --batches 10 --seed 7 --json m.json
     python scripts/perf_gate.py m.json
 
+**Bench mode** — compares a fresh ``maxrs-stream bench`` document
+against the committed baseline (``BENCH_PR4.json``) on
+``speedup_vs_naive``, per (monitor, dataset) row.  The speedup is a
+ratio *within* one run on one machine, so absolute host speed cancels
+out; what remains is the algorithmic advantage over the naive
+recompute, which is exactly what a kernel regression erodes.  The gate
+fails when any indexed monitor's speedup falls more than ``--tolerance``
+(default 15%) below the baseline row.  The multi-query ``scaling``
+ratio is gated the same way, but only when both the baseline and the
+current host have at least two CPUs — on one core the honest ratio is
+below 1 and carries no signal.
+
+Usage::
+
+    maxrs-stream bench --seed 42 --profile quick --out fresh.json
+    python scripts/perf_gate.py --bench fresh.json --baseline BENCH_PR4.json
+
 Exits 0 when every check passes, 1 with a diagnostic otherwise.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 
+#: monitors whose speedup_vs_naive is gated (naive is the denominator)
+GATED_MONITORS = ("g2", "ag2", "rtree", "topk")
+
 
 def check(metrics_path: str) -> list[str]:
-    """Return a list of failure messages (empty = gate passes)."""
+    """Profile mode: return failure messages (empty = gate passes)."""
     with open(metrics_path, encoding="utf-8") as fh:
         doc = json.load(fh)
 
@@ -77,20 +101,137 @@ def check(metrics_path: str) -> list[str]:
     return failures
 
 
+def _speedup_index(doc: dict) -> dict:
+    """(profile, monitor, dataset) -> speedup_vs_naive for one document."""
+    index: dict = {}
+    for profile_name, profile_doc in doc.get("profiles", {}).items():
+        for row in profile_doc.get("rows", []):
+            key = (profile_name, row["monitor"], row["dataset"])
+            index[key] = row["speedup_vs_naive"]
+    return index
+
+
+def check_bench(
+    bench_path: str, baseline_path: str, tolerance: float
+) -> list[str]:
+    """Bench mode: return failure messages (empty = gate passes)."""
+    with open(bench_path, encoding="utf-8") as fh:
+        current = json.load(fh)
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    failures: list[str] = []
+    base_index = _speedup_index(baseline)
+    cur_index = _speedup_index(current)
+    compared = 0
+    for key, base_speedup in sorted(base_index.items()):
+        profile_name, monitor, dataset = key
+        if monitor not in GATED_MONITORS:
+            continue
+        cur_speedup = cur_index.get(key)
+        if cur_speedup is None:
+            # the current run may cover a subset of profiles (the CI
+            # smoke job runs only `quick`); a missing profile is fine,
+            # a missing monitor row within a covered profile is not
+            if any(k[0] == profile_name for k in cur_index):
+                failures.append(
+                    f"bench row missing: {monitor} on {dataset} "
+                    f"({profile_name} profile)"
+                )
+            continue
+        compared += 1
+        floor = base_speedup * (1.0 - tolerance)
+        if cur_speedup < floor:
+            failures.append(
+                f"kernel throughput regression: {monitor} on {dataset} "
+                f"({profile_name}) speedup_vs_naive {cur_speedup:.2f}x "
+                f"below floor {floor:.2f}x "
+                f"(baseline {base_speedup:.2f}x, tolerance {tolerance:.0%})"
+            )
+    if compared == 0:
+        failures.append(
+            "bench gate compared zero rows — profile names disagree "
+            "between the baseline and the current document?"
+        )
+
+    # multi-query scaling: only meaningful with real parallel hardware
+    base_cpus = baseline.get("cpu_count", 1)
+    cur_cpus = current.get("cpu_count", 1)
+    if base_cpus >= 2 and cur_cpus >= 2:
+        for profile_name, profile_doc in current.get("profiles", {}).items():
+            mq = profile_doc.get("multi_query")
+            base_profile = baseline.get("profiles", {}).get(profile_name, {})
+            base_mq = base_profile.get("multi_query")
+            if not mq or not base_mq:
+                continue
+            floor = base_mq["scaling"] * (1.0 - tolerance)
+            if mq["scaling"] < floor:
+                failures.append(
+                    f"multi-query scaling regression ({profile_name}): "
+                    f"{mq['scaling']:.2f}x below floor {floor:.2f}x "
+                    f"(baseline {base_mq['scaling']:.2f}x on "
+                    f"{base_cpus} cpus)"
+                )
+    return failures
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print(f"usage: {argv[0]} <metrics.json>", file=sys.stderr)
-        return 2
-    try:
-        failures = check(argv[1])
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"PERF GATE FAIL: cannot read {argv[1]}: {exc}", file=sys.stderr)
-        return 1
+    parser = argparse.ArgumentParser(
+        prog="perf_gate.py", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "metrics", nargs="?", help="profile-mode metrics JSON"
+    )
+    parser.add_argument(
+        "--bench", metavar="PATH", help="bench-mode: fresh bench JSON"
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help="bench-mode: committed baseline JSON (e.g. BENCH_PR4.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="allowed relative speedup drop before failing "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    if args.bench or args.baseline:
+        if not (args.bench and args.baseline):
+            print(
+                "PERF GATE FAIL: bench mode needs both --bench and "
+                "--baseline",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            failures = check_bench(args.bench, args.baseline, args.tolerance)
+        except (OSError, json.JSONDecodeError, KeyError) as exc:
+            print(
+                f"PERF GATE FAIL: cannot compare bench documents: {exc!r}",
+                file=sys.stderr,
+            )
+            return 1
+        label = "bench gate: speedup-vs-naive within tolerance of baseline"
+    else:
+        if not args.metrics:
+            parser.print_usage(sys.stderr)
+            return 2
+        try:
+            failures = check(args.metrics)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"PERF GATE FAIL: cannot read {args.metrics}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        label = "perf gate: aG2 pruning behaviour verified"
+
     if failures:
         for message in failures:
             print(f"PERF GATE FAIL: {message}", file=sys.stderr)
         return 1
-    print("perf gate: aG2 pruning behaviour verified")
+    print(label)
     return 0
 
 

@@ -11,6 +11,14 @@ from repro.bench.config import (
     SCALE_FACTOR,
     ExperimentConfig,
 )
+from repro.bench.bench import (
+    BENCH_DATASETS,
+    BENCH_MONITORS,
+    BenchProfile,
+    bench_rows,
+    run_bench,
+    scaling_rows,
+)
 from repro.bench.profile import ProfileReport, run_profile
 from repro.bench.runners import (
     ALGORITHMS,
@@ -25,6 +33,9 @@ from repro.bench.tables import format_rows, format_table, series_from_rows
 
 __all__ = [
     "ALGORITHMS",
+    "BENCH_DATASETS",
+    "BENCH_MONITORS",
+    "BenchProfile",
     "DEFAULT_CONFIG",
     "ExperimentConfig",
     "FIG7_WINDOWS",
@@ -35,8 +46,11 @@ __all__ = [
     "PAPER_DATASETS",
     "ProfileReport",
     "SCALE_FACTOR",
+    "bench_rows",
     "build_monitor",
     "format_rows",
+    "run_bench",
+    "scaling_rows",
     "format_table",
     "run_ablation",
     "run_approx_sweep",

@@ -85,11 +85,52 @@ class ProfileReport:
                 rows.append(row)
         return rows
 
+    def rate_rows(self) -> list[dict[str, object]]:
+        """Per-(batch, monitor) *derived* rates, normalising raw counters
+        by the work offered (see docs/PERFORMANCE.md):
+
+        * ``prune_fraction`` — cells pruned over cells considered
+          (visited + pruned); how much of the index branch-and-bound
+          skipped this batch.
+        * ``sweeps_per_arrival`` — Local-Plane-Sweep invocations per
+          arriving object; the incrementality argument made measurable.
+        * ``overlap_tests_per_arrival`` — pairwise rectangle tests per
+          arriving object; the neighbour-discovery cost driver.
+        """
+        arrivals = float(self.config.batch_size)
+        rows: list[dict[str, object]] = []
+        for index in range(self.report.batches):
+            for name, deltas in self.report.batch_metrics.items():
+                c = deltas[index].counters
+                visited = c.get("cells_visited", 0.0)
+                pruned = c.get("cells_pruned", 0.0)
+                considered = visited + pruned
+                sweeps = c.get("local_sweeps", 0.0) + c.get("full_sweeps", 0.0)
+                rows.append(
+                    {
+                        "batch": index + 1,
+                        "monitor": name,
+                        "prune_fraction": (
+                            pruned / considered if considered else 0.0
+                        ),
+                        "sweeps_per_arrival": (
+                            sweeps / arrivals if arrivals else 0.0
+                        ),
+                        "overlap_tests_per_arrival": (
+                            c.get("overlap_tests", 0.0) / arrivals
+                            if arrivals
+                            else 0.0
+                        ),
+                    }
+                )
+        return rows
+
     def to_dict(self) -> dict[str, object]:
         """The JSON artefact shape (consumed by the CI perf gate)."""
         doc = self.report.to_dict()
         doc["config"] = asdict(self.config)
         doc["primed"] = self.primed
+        doc["derived_rates"] = self.rate_rows()
         return doc
 
 

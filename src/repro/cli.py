@@ -8,6 +8,7 @@ Subcommands mirror the paper's evaluation artefacts::
     maxrs-stream topk --ks 1,10,25
     maxrs-stream ablation
     maxrs-stream profile --window 2000 --batches 10 --json metrics.json
+    maxrs-stream bench --seed 42 --out BENCH_PR4.json
     maxrs-stream chaos --batches 200 --policy quarantine
     maxrs-stream overload --pattern square --burst-factor 10
 
@@ -156,6 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the per-batch counter-delta table",
     )
     p_profile.add_argument(
+        "--rates", action="store_true",
+        help="also print per-batch derived rates (prune fraction, "
+        "sweeps/arrival, overlap tests/arrival)",
+    )
+    p_profile.add_argument(
         "--json", metavar="PATH",
         help="write the full metrics document (timings, counters, "
         "per-batch deltas) as JSON",
@@ -280,6 +286,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write the overload report as JSON"
     )
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="fixed-seed benchmark suite: every monitor x uniform/gaussian "
+        "plus a multi-query scaling row; writes the JSON document the "
+        "CI bench gate compares against the committed BENCH_PR4.json",
+    )
+    p_bench.add_argument(
+        "--seed", type=int, default=42,
+        help="stream seed (default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--profile", default="both", choices=("full", "quick", "both"),
+        help="suite sizing: full (baseline), quick (CI smoke), or both "
+        "(default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--out", metavar="PATH", help="write the bench document as JSON"
+    )
+    p_bench.add_argument(
+        "--no-scaling", action="store_true",
+        help="skip the multi-query serial-vs-parallel scaling row",
+    )
+
     p_dataset = sub.add_parser(
         "dataset", help="dump a workload sample to CSV (x,y,weight,timestamp)"
     )
@@ -333,6 +362,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(
                 format_rows(
                     profile.per_batch_rows(), title="per-batch deltas"
+                )
+            )
+        if args.rates:
+            print()
+            print(
+                format_rows(
+                    profile.rate_rows(), title="per-batch derived rates"
                 )
             )
         if profile.report.source_exhausted:
@@ -451,6 +487,32 @@ def main(argv: Sequence[str] | None = None) -> int:
             "OK: p95 within budget, ledger closed, guarantees verified, "
             "ladder recovered to exact"
         )
+    elif args.command == "bench":
+        from repro.bench.bench import bench_rows, run_bench, scaling_rows
+
+        names = (
+            ("full", "quick") if args.profile == "both" else (args.profile,)
+        )
+        doc = run_bench(
+            seed=args.seed, profiles=names, scaling=not args.no_scaling
+        )
+        print(
+            format_rows(
+                bench_rows(doc),
+                title=f"bench seed={args.seed} cpus={doc['cpu_count']}",
+            )
+        )
+        mq_rows = scaling_rows(doc)
+        if mq_rows:
+            print()
+            print(
+                format_rows(
+                    mq_rows, title="multi-query scaling (serial vs parallel)"
+                )
+            )
+        if args.out:
+            write_metrics_json(args.out, doc)
+            print(f"wrote bench JSON to {args.out}")
     elif args.command == "dataset":
         from repro.datasets import make_stream
         from repro.streams import write_csv

@@ -32,13 +32,14 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from heapq import heapify, heappop
 from typing import Callable, Deque, Dict
 
 from repro.core.graph import CellGraph, Vertex
 from repro.core.grid import CellKey, UniformGrid, default_cell_size
 from repro.core.monitor import MaxRSMonitor
-from repro.core.objects import WeightedRect
-from repro.core.planesweep import local_plane_sweep
+from repro.core.objects import WeightedRect, dual_rect
+from repro.core.planesweep import local_plane_sweep_cached
 from repro.core.spaces import MaxRSResult
 from repro.errors import InvalidParameterError, InvariantViolationError
 from repro.window.base import SlidingWindow, WindowUpdate
@@ -56,7 +57,7 @@ Tightener = Callable[[Vertex, float], float]
 class AG2Cell:
     """One aG2 cell: graph + pending set ``R`` + cell bound ``c.w``."""
 
-    __slots__ = ("graph", "pending", "cw")
+    __slots__ = ("graph", "pending", "cw", "rank")
 
     def __init__(self) -> None:
         self.graph = CellGraph()
@@ -64,6 +65,10 @@ class AG2Cell:
         # arrival order: (sequence number, rectangle)
         self.pending: Deque[tuple[int, WeightedRect]] = deque()
         self.cw = 0.0
+        # creation order within the owning monitor; mirrors the cell
+        # dict's insertion order so heap-based candidate ordering
+        # breaks c.w ties exactly like a stable sort over the dict did
+        self.rank = 0
 
     @property
     def is_empty(self) -> bool:
@@ -117,7 +122,12 @@ class AG2Monitor(MaxRSMonitor):
         self.visit_order = visit_order
         self._cells: Dict[CellKey, AG2Cell] = {}
         self._next_seq = 0
+        self._next_cell_rank = 0
         self._expired_upto = -1
+        # every (seq, key) mapping made by _map_arrivals, in seq order;
+        # purging pops the expired prefix and touches only those cells
+        # instead of scanning the whole cell dict per batch
+        self._expiry_log: Deque[tuple[int, CellKey]] = deque()
         # the monitored answer: the vertex whose exact space we report
         self._star: Vertex | None = None
         self._star_cell: CellKey | None = None
@@ -140,19 +150,36 @@ class AG2Monitor(MaxRSMonitor):
         # lines 11-15: branch-and-bound over the remaining cells; in
         # "bound" order the first Rule-1 failure prunes the rest, in
         # "arbitrary" order every cell is tested individually
-        rest = (key for key in self._cells if key != start_key)
         if self.visit_order == "bound":
-            order = sorted(rest, key=lambda key: -self._cells[key].cw)
-        else:
-            order = list(rest)
-        for pos, key in enumerate(order):
-            cell = self._cells[key]
-            if not self._may_beat(cell.cw):
-                if self.visit_order == "bound":
-                    pruned = len(order) - pos
+            # a heap beats a full sort here: the typical batch visits a
+            # handful of cells before the first Rule-1 failure prunes
+            # everything else, so most candidates are never popped.
+            # (-cw, rank) pops in the exact order sorted() produced —
+            # rank mirrors the cell dict's insertion order.
+            heap = [
+                (-cell.cw, cell.rank, key)
+                for key, cell in self._cells.items()
+                if key != start_key
+            ]
+            heapify(heap)
+            while heap:
+                neg_cw, _rank, key = heappop(heap)
+                cell = self._cells[key]
+                if not self._may_beat(cell.cw):
+                    pruned = len(heap) + 1
                     self.stats.cells_pruned += pruned
                     self.metrics.inc("cells_pruned", pruned)
                     break
+                self._overlap_computation(cell)
+                if self._may_beat(cell.cw):
+                    self._exact_weight_computation(key)
+                else:
+                    self.stats.cells_pruned += 1
+                    self.metrics.inc("cells_pruned")
+            return
+        for key in [key for key in self._cells if key != start_key]:
+            cell = self._cells[key]
+            if not self._may_beat(cell.cw):
                 self.stats.cells_pruned += 1
                 self.metrics.inc("cells_pruned")
                 continue
@@ -168,19 +195,26 @@ class AG2Monitor(MaxRSMonitor):
     def _map_arrivals(self, delta: WindowUpdate) -> None:
         """Lines 1-5: route new rectangles to their cells, growing each
         cell bound by the arriving weight (Equation 5)."""
+        cells = self._cells
+        grid_keys = self.grid.cell_keys
+        width = self.rect_width
+        height = self.rect_height
+        log = self._expiry_log.append
         for obj in delta.arrived:
             seq = self._next_seq
             self._next_seq += 1
-            wr = WeightedRect.from_object(
-                obj, self.rect_width, self.rect_height
-            )
-            for key in self.grid.cells_overlapping(wr.rect):
-                cell = self._cells.get(key)
+            wr = dual_rect(obj, width, height)
+            weight = wr.weight
+            for key in grid_keys(wr.rect):
+                cell = cells.get(key)
                 if cell is None:
                     cell = self._make_cell()
-                    self._cells[key] = cell
+                    cell.rank = self._next_cell_rank
+                    self._next_cell_rank += 1
+                    cells[key] = cell
                 cell.pending.append((seq, wr))
-                cell.cw += wr.weight
+                cell.cw += weight
+                log((seq, key))
 
     def _make_cell(self) -> AG2Cell:
         """Cell factory; the top-k monitor overrides it to attach the
@@ -188,23 +222,38 @@ class AG2Monitor(MaxRSMonitor):
         return AG2Cell()
 
     def _purge_all(self) -> None:
-        """Expire stale vertices/pending entries from every cell.
+        """Expire stale vertices/pending entries from the cells that
+        hold them.
 
-        Purging only removes weight, so cell bounds remain valid upper
-        bounds without adjustment; empty cells are dropped.
+        The expiry log records every ``(seq, key)`` mapping in arrival
+        order, so the cells owning expired entries are exactly those in
+        the log's expired prefix — O(expired × cells-per-rect) per
+        batch instead of a scan over every materialised cell.  Purging
+        only removes weight, so cell bounds remain valid upper bounds
+        without adjustment; empty cells are dropped.
         """
         expired_upto = self._expired_upto
         if self._star is not None and self._star.seq <= expired_upto:
             self._star = None
             self._star_cell = None
-        for key in list(self._cells):
-            cell = self._cells[key]
+        log = self._expiry_log
+        if not log or log[0][0] > expired_upto:
+            return
+        touched: set[CellKey] = set()
+        add = touched.add
+        while log and log[0][0] <= expired_upto:
+            add(log.popleft()[1])
+        cells = self._cells
+        for key in touched:
+            cell = cells.get(key)
+            if cell is None:
+                continue
             removed = cell.graph.expire_upto(expired_upto)
             pending = cell.pending
             while pending and pending[0][0] <= expired_upto:
                 pending.popleft()
-            if cell.is_empty:
-                del self._cells[key]
+            if not pending and not cell.graph:
+                del cells[key]
             elif removed:
                 self._cell_purged(cell)
 
@@ -218,8 +267,8 @@ class AG2Monitor(MaxRSMonitor):
         if self._star_cell is not None and self._star_cell in self._cells:
             return self._star_cell
         return max(
-            self._cells, key=lambda key: (self._cells[key].cw, key)
-        )
+            (cell.cw, key) for key, cell in self._cells.items()
+        )[1]
 
     def _may_beat(self, bound: float) -> bool:
         """Pruning Rule 1 (ε = 0) / Rule 3 (ε > 0): can a cell with this
@@ -270,8 +319,10 @@ class AG2Monitor(MaxRSMonitor):
                 if relax * v.upper > rho:
                     # sweep only when N(ri) changed since the last exact
                     # computation; otherwise `space` is already the exact
-                    # si and re-sweeping would reproduce it verbatim
-                    if len(v.neighbors) != v.swept_degree:
+                    # si and re-sweeping would reproduce it verbatim.
+                    # `dirty` is set by every edge append and cleared by
+                    # every sweep, so it is exactly that condition.
+                    if v.dirty:
                         self._sweep_vertex(v)
                     star = self._star
                     if star is None or v.space.weight > star.space.weight:
@@ -289,7 +340,7 @@ class AG2Monitor(MaxRSMonitor):
         metrics.inc("upper_bound_recomputes")
 
     def _sweep_vertex(self, v: Vertex) -> None:
-        v.space = local_plane_sweep(v.wr, v.neighbors)
+        v.space = local_plane_sweep_cached(v)
         v.upper = v.space.weight
         v.dirty = False
         v.swept_degree = len(v.neighbors)

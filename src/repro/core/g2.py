@@ -22,8 +22,8 @@ from typing import Dict
 from repro.core.graph import CellGraph, Vertex
 from repro.core.grid import CellKey, UniformGrid, default_cell_size
 from repro.core.monitor import MaxRSMonitor
-from repro.core.objects import WeightedRect
-from repro.core.planesweep import local_plane_sweep
+from repro.core.objects import dual_rect
+from repro.core.planesweep import local_plane_sweep_cached
 from repro.core.spaces import MaxRSResult
 from repro.window.base import SlidingWindow, WindowUpdate
 
@@ -80,20 +80,25 @@ class G2Monitor(MaxRSMonitor):
         # is exactly the next len(expired) sequence numbers.
         self._expired_upto += len(delta.expired)
         metrics = self.metrics
+        stats = self.stats
+        cells = self._cells
+        grid_keys = self.grid.cell_keys
+        width = self.rect_width
+        height = self.rect_height
         dirty: list[tuple[_G2Cell, Vertex]] = []
         for obj in delta.arrived:
             seq = self._next_seq
             self._next_seq += 1
-            wr = WeightedRect.from_object(obj, self.rect_width, self.rect_height)
-            for key in self.grid.cells_overlapping(wr.rect):
-                cell = self._cells.get(key)
+            wr = dual_rect(obj, width, height)
+            for key in grid_keys(wr.rect):
+                cell = cells.get(key)
                 if cell is None:
                     cell = _G2Cell()
-                    self._cells[key] = cell
+                    cells[key] = cell
                 self._purge(cell)
-                self.stats.cells_visited += 1
+                stats.cells_visited += 1
                 metrics.inc("cells_visited")
-                self.stats.overlap_tests += len(cell.graph)
+                stats.overlap_tests += len(cell.graph)
                 metrics.inc("overlap_tests", len(cell.graph))
                 vertex, touched = cell.graph.connect(wr, seq)
                 metrics.inc("edges_touched", len(touched))
@@ -106,9 +111,9 @@ class G2Monitor(MaxRSMonitor):
             if not v.dirty:
                 continue
             v.dirty = False
-            v.space = local_plane_sweep(v.wr, v.neighbors)
+            v.space = local_plane_sweep_cached(v)
             v.upper = v.space.weight
-            self.stats.local_sweeps += 1
+            stats.local_sweeps += 1
             metrics.inc("local_sweeps")
             cell.offer_best(v)
 

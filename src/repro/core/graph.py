@@ -31,7 +31,8 @@ class Vertex:
     """A dual rectangle living in one cell's graph."""
 
     __slots__ = (
-        "wr", "seq", "neighbors", "space", "upper", "dirty", "swept_degree"
+        "wr", "seq", "neighbors", "space", "upper", "dirty", "swept_degree",
+        "clip_items", "clip_upto",
     )
 
     def __init__(self, wr: WeightedRect, seq: int) -> None:
@@ -49,6 +50,12 @@ class Vertex:
         # len(neighbors) when `space` was last recomputed exactly; the
         # tail neighbors[swept_degree:] is Algorithm 5's R(ri)
         self.swept_degree = 0
+        # local_plane_sweep_cached state: the clipped (Rect, weight)
+        # items of neighbors[:clip_upto], valid because neighbour lists
+        # are append-only while the vertex is alive.  None until the
+        # vertex is first swept, so pruned vertices pay nothing.
+        self.clip_items: list[tuple[object, float]] | None = None
+        self.clip_upto = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

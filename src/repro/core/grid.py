@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 from repro.core.geometry import Rect
@@ -25,6 +26,46 @@ from repro.errors import InvalidParameterError
 __all__ = ["UniformGrid", "CellKey", "default_cell_size"]
 
 CellKey = tuple[int, int]
+
+
+def _axis_cells(lo: float, hi: float, origin: float, cs: float) -> range:
+    i0 = math.floor((lo - origin) / cs)
+    i1 = math.floor((hi - origin) / cs)
+    # widen against float rounding, then trim by the strict-overlap
+    # predicate: cell i spans (origin + i*cs, origin + (i+1)*cs)
+    i0 -= 1
+    i1 += 1
+    while origin + (i0 + 1) * cs <= lo:
+        i0 += 1
+    while origin + i1 * cs >= hi:
+        i1 -= 1
+    return range(i0, i1 + 1)
+
+
+@lru_cache(maxsize=65536)
+def _cell_keys_cached(
+    cs: float,
+    origin_x: float,
+    origin_y: float,
+    x1: float,
+    y1: float,
+    x2: float,
+    y2: float,
+) -> tuple[CellKey, ...]:
+    """Materialised cell cover of one rectangle under one grid geometry.
+
+    Module-level and keyed by the grid parameters, so monitors sharing a
+    grid geometry (every multi-query group member with the same query
+    size) resolve each arrival's cell cover exactly once instead of once
+    per ``(arrival × monitor)`` — the float-guarded while-loops above
+    are the G2/aG2 mapping hot path.  Bounded LRU; an entry is a handful
+    of small tuples.
+    """
+    return tuple(
+        (i, j)
+        for i in _axis_cells(x1, x2, origin_x, cs)
+        for j in _axis_cells(y1, y2, origin_y, cs)
+    )
 
 
 def default_cell_size(rect_width: float, rect_height: float) -> float:
@@ -68,18 +109,38 @@ class UniformGrid:
         return Rect(x1, y1, x1 + cs, y1 + cs)
 
     def _axis_range(self, lo: float, hi: float, origin: float) -> range:
+        return _axis_cells(lo, hi, origin, self.cell_size)
+
+    def cell_keys(self, rect: Rect) -> tuple[CellKey, ...]:
+        """The cell cover of a rectangle as a (cached) tuple.
+
+        Same semantics as :meth:`cells_overlapping`; this is the form
+        the monitors use on their arrival hot path — repeated covers of
+        the same rectangle under the same grid geometry (several
+        monitors indexing one stream) hit the shared LRU.
+        """
+        if rect.is_degenerate:
+            return ()
         cs = self.cell_size
-        i0 = math.floor((lo - origin) / cs)
-        i1 = math.floor((hi - origin) / cs)
-        # widen against float rounding, then trim by the strict-overlap
-        # predicate: cell i spans (origin + i*cs, origin + (i+1)*cs)
-        i0 -= 1
-        i1 += 1
-        while origin + (i0 + 1) * cs <= lo:
-            i0 += 1
-        while origin + i1 * cs >= hi:
-            i1 -= 1
-        return range(i0, i1 + 1)
+        # covers far larger than any dual rectangle (a handful of cells
+        # each) would pin huge tuples in the LRU — compute those directly
+        if ((rect.x2 - rect.x1) / cs + 2.0) * (
+            (rect.y2 - rect.y1) / cs + 2.0
+        ) > 4096.0:
+            return tuple(
+                (i, j)
+                for i in _axis_cells(rect.x1, rect.x2, self.origin_x, cs)
+                for j in _axis_cells(rect.y1, rect.y2, self.origin_y, cs)
+            )
+        return _cell_keys_cached(
+            cs,
+            self.origin_x,
+            self.origin_y,
+            rect.x1,
+            rect.y1,
+            rect.x2,
+            rect.y2,
+        )
 
     def cells_overlapping(self, rect: Rect) -> Iterator[CellKey]:
         """All cells whose interior intersects the rectangle's interior.
@@ -87,12 +148,8 @@ class UniformGrid:
         Degenerate rectangles overlap nothing (strict-interior
         convention) and yield no cells.
         """
-        if rect.is_degenerate:
-            return
-        for i in self._axis_range(rect.x1, rect.x2, self.origin_x):
-            for j in self._axis_range(rect.y1, rect.y2, self.origin_y):
-                yield (i, j)
+        return iter(self.cell_keys(rect))
 
     def cell_count_for(self, rect: Rect) -> int:
         """Number of cells the rectangle maps to (diagnostics)."""
-        return sum(1 for _ in self.cells_overlapping(rect))
+        return len(self.cell_keys(rect))

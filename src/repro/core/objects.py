@@ -12,12 +12,19 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 from repro.core.geometry import Rect
 from repro.errors import InvalidParameterError
 
-__all__ = ["SpatialObject", "WeightedRect", "to_weighted_rects", "object_ids"]
+__all__ = [
+    "SpatialObject",
+    "WeightedRect",
+    "dual_rect",
+    "to_weighted_rects",
+    "object_ids",
+]
 
 _AUTO_ID = itertools.count()
 
@@ -79,6 +86,21 @@ class WeightedRect:
         cls, obj: SpatialObject, width: float, height: float
     ) -> "WeightedRect":
         return cls(rect=obj.to_rect(width, height), weight=obj.weight, obj=obj)
+
+
+@lru_cache(maxsize=65536)
+def dual_rect(
+    obj: SpatialObject, width: float, height: float
+) -> WeightedRect:
+    """Cached :meth:`WeightedRect.from_object`.
+
+    Every monitor applies the Definition 2 dual transform to every
+    arrival; when several monitors share a stream (multi-query serving)
+    the same ``(object, query size)`` pair is transformed once here
+    instead of per monitor.  Both argument types are frozen/hashable
+    and the result is immutable, so sharing is safe.  Bounded LRU.
+    """
+    return WeightedRect.from_object(obj, width, height)
 
 
 def to_weighted_rects(

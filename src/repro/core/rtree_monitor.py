@@ -22,8 +22,8 @@ from typing import Dict
 
 from repro.core.graph import Vertex
 from repro.core.monitor import MaxRSMonitor
-from repro.core.objects import WeightedRect
-from repro.core.planesweep import local_plane_sweep
+from repro.core.objects import dual_rect
+from repro.core.planesweep import local_plane_sweep_cached
 from repro.core.rtree import RTree
 from repro.core.spaces import MaxRSResult
 from repro.window.base import SlidingWindow, WindowUpdate
@@ -58,26 +58,28 @@ class RTreeMonitor(MaxRSMonitor):
                 self._tree.delete(vertex.seq, vertex.wr.rect)
         dirty: list[Vertex] = []
         metrics = self.metrics
+        stats = self.stats
+        vertices = self._vertices
+        width = self.rect_width
+        height = self.rect_height
         nodes_before = self._tree.nodes_expanded
         for obj in delta.arrived:
             seq = self._next_seq
             self._next_seq += 1
-            wr = WeightedRect.from_object(
-                obj, self.rect_width, self.rect_height
-            )
+            wr = dual_rect(obj, width, height)
             # neighbour discovery via overlap search (edges old → new)
             for key in self._tree.search_overlap(wr.rect):
-                older = self._vertices[key]  # type: ignore[index]
+                older = vertices[key]  # type: ignore[index]
                 older.neighbors.append(wr)
                 older.upper += wr.weight
                 if not older.dirty:
                     older.dirty = True
                     dirty.append(older)
-                self.stats.overlap_tests += 1
+                stats.overlap_tests += 1
                 metrics.inc("overlap_tests")
                 metrics.inc("edges_touched")
             vertex = Vertex(wr, seq)
-            self._vertices[seq] = vertex
+            vertices[seq] = vertex
             self._tree.insert(seq, wr.rect)
             heapq.heappush(self._heap, (-vertex.space.weight, seq))
         metrics.inc(
@@ -85,7 +87,7 @@ class RTreeMonitor(MaxRSMonitor):
         )
         for vertex in dirty:
             vertex.dirty = False
-            vertex.space = local_plane_sweep(vertex.wr, vertex.neighbors)
+            vertex.space = local_plane_sweep_cached(vertex)
             vertex.upper = vertex.space.weight
             vertex.swept_degree = len(vertex.neighbors)
             self.stats.local_sweeps += 1

@@ -191,7 +191,8 @@ class TopKAG2Monitor(AG2Monitor):
         cw = 0.0
         for v in cell.graph.iter_vertices():
             if v.upper > rho:
-                if len(v.neighbors) != v.swept_degree:
+                # dirty ⟺ edges appended since the last exact sweep
+                if v.dirty:
                     self._sweep_vertex(v)
                 oid = v.wr.oid
                 held = candidates.get(oid)

@@ -1,0 +1,363 @@
+"""Parallel multi-query serving across worker processes (paper §8).
+
+:class:`ParallelQueryGroup` exposes the same registry/serving API as
+:class:`~repro.engine.multi.MultiQueryGroup` but shards the registered
+queries across persistent worker processes, so independent per-query
+index maintenance — the dominant cost of multi-query serving — runs
+concurrently on multiple cores.  Queries stay *whole*: a monitor's
+index lives entirely inside one worker, and a batch update is one
+round-trip per shard, not per query.
+
+Design notes:
+
+* **one single-process executor per shard** — worker death is isolated
+  to one shard, and a single worker per pool makes the within-shard
+  operation order deterministic (FIFO).
+* **deterministic merge** — per-shard result dicts are merged in query
+  registration order, so ``update`` returns byte-identical result
+  sequences to ``MultiQueryGroup`` over the same stream regardless of
+  shard scheduling.
+* **supervisor-style recovery** — the group keeps, per shard, a pickled
+  snapshot of the shard's monitors plus the replay log of batches since
+  that snapshot.  When a worker dies (``BrokenProcessPool``), the shard
+  executor is respawned, the snapshot restored, the log replayed, and
+  the interrupted operation retried — callers never observe the crash.
+* **in-process fallback** — ``workers=0`` (or anything falsy) serves
+  every query inline with no processes at all: with a single registered
+  query there is nothing to parallelise, and the process round-trip
+  would be pure overhead, so a 1-query deployment should prefer the
+  fallback (or plain ``MultiQueryGroup``).
+
+The scaling win requires actual cores: on a single-CPU host the shards
+time-share and the pickling round-trips make this *slower* than
+``MultiQueryGroup`` — see docs/PERFORMANCE.md for measured numbers.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Sequence
+
+from repro.core.monitor import MaxRSMonitor
+from repro.core.objects import SpatialObject
+from repro.core.spaces import MaxRSResult
+from repro.errors import InvalidParameterError
+from repro.resilience.guard import IngestGuard
+
+__all__ = ["ParallelQueryGroup"]
+
+
+# -- worker-side state and entry points -------------------------------------
+#
+# Each worker process holds the monitors of exactly one shard in this
+# module-global registry.  Entry points must be module-level functions
+# (picklable by reference); every call returns plain picklable data.
+
+_WORKER_MONITORS: Dict[str, MaxRSMonitor] = {}
+
+
+def _w_add(name: str, monitor_bytes: bytes) -> None:
+    _WORKER_MONITORS[name] = pickle.loads(monitor_bytes)
+
+
+def _w_remove(name: str) -> bytes:
+    return pickle.dumps(_WORKER_MONITORS.pop(name))
+
+
+def _w_update(batch: Sequence[SpatialObject]) -> Dict[str, MaxRSResult]:
+    return {
+        name: monitor.update(batch)
+        for name, monitor in _WORKER_MONITORS.items()
+    }
+
+
+def _w_results() -> Dict[str, MaxRSResult]:
+    return {
+        name: monitor.result for name, monitor in _WORKER_MONITORS.items()
+    }
+
+
+def _w_contents(name: str) -> List[SpatialObject]:
+    return list(_WORKER_MONITORS[name].window.contents)
+
+
+def _w_snapshot() -> bytes:
+    return pickle.dumps(_WORKER_MONITORS)
+
+
+def _w_restore(snapshot: bytes) -> None:
+    _WORKER_MONITORS.clear()
+    _WORKER_MONITORS.update(pickle.loads(snapshot))
+
+
+def _w_kill() -> None:  # pragma: no cover - exits the worker process
+    import os
+
+    os._exit(1)
+
+
+class _Shard:
+    """One worker process plus the state needed to rebuild it."""
+
+    __slots__ = ("executor", "names", "snapshot", "replay")
+
+    def __init__(self) -> None:
+        self.executor = ProcessPoolExecutor(max_workers=1)
+        self.names: List[str] = []
+        # pickled monitor registry as of the last checkpoint, and the
+        # batches pushed since — together they reconstruct the shard
+        self.snapshot: bytes = pickle.dumps({})
+        self.replay: List[Sequence[SpatialObject]] = []
+
+
+class ParallelQueryGroup:
+    """A named set of monitors sharded across worker processes.
+
+    Drop-in for :class:`~repro.engine.multi.MultiQueryGroup`::
+
+        group = ParallelQueryGroup(workers=2)
+        group.add("coarse", AG2Monitor(2000, 2000, CountWindow(50_000)))
+        group.add("fine", AG2Monitor(500, 500, CountWindow(50_000)))
+        for batch in stream:
+            results = group.update(batch)      # {"coarse": ..., "fine": ...}
+        group.close()
+
+    Args:
+        workers: Number of shard processes.  ``0`` serves in-process
+            with no worker processes (the documented 1-query fallback).
+        snapshot_every: Checkpoint each shard after this many updates;
+            bounds both the replay log kept per shard and the work
+            re-done when a worker is recovered.
+        guard: Optional ingest guard for :meth:`update_guarded`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        snapshot_every: int = 16,
+        guard: IngestGuard | None = None,
+    ) -> None:
+        if workers < 0:
+            raise InvalidParameterError(
+                f"workers must be non-negative, got {workers}"
+            )
+        if snapshot_every <= 0:
+            raise InvalidParameterError(
+                f"snapshot_every must be positive, got {snapshot_every}"
+            )
+        self.workers = workers
+        self.snapshot_every = snapshot_every
+        self.guard = guard
+        self._order: List[str] = []
+        self._shard_of: Dict[str, int] = {}
+        self._shards: Dict[int, _Shard] = {}  # materialised lazily
+        # in-process fallback registry (workers == 0)
+        self._local: Dict[str, MaxRSMonitor] = {}
+        self.recoveries = 0
+
+    # -- shard plumbing -----------------------------------------------------
+
+    @property
+    def _inline(self) -> bool:
+        return self.workers == 0
+
+    def _pick_shard(self) -> int:
+        """Least-loaded shard, lowest index on ties — deterministic."""
+        loads = [
+            (len(self._shards[i].names) if i in self._shards else 0, i)
+            for i in range(self.workers)
+        ]
+        return min(loads)[1]
+
+    def _shard(self, index: int) -> _Shard:
+        shard = self._shards.get(index)
+        if shard is None:
+            shard = _Shard()
+            self._shards[index] = shard
+        return shard
+
+    def _call(self, shard: _Shard, fn, *args):
+        """Run one entry point on a shard, recovering a dead worker."""
+        try:
+            return shard.executor.submit(fn, *args).result()
+        except BrokenProcessPool:
+            self._recover(shard)
+            return shard.executor.submit(fn, *args).result()
+
+    def _recover(self, shard: _Shard) -> None:
+        """Respawn a shard's worker and rebuild its monitors from the
+        last snapshot plus the replayed batches since."""
+        self.recoveries += 1
+        shard.executor.shutdown(wait=False, cancel_futures=True)
+        shard.executor = ProcessPoolExecutor(max_workers=1)
+        shard.executor.submit(_w_restore, shard.snapshot).result()
+        for batch in shard.replay:
+            shard.executor.submit(_w_update, batch).result()
+
+    def _checkpoint(self, shard: _Shard) -> None:
+        shard.snapshot = self._call(shard, _w_snapshot)
+        shard.replay.clear()
+
+    # -- registry -----------------------------------------------------------
+
+    def add(self, name: str, monitor: MaxRSMonitor) -> None:
+        """Register a query under a unique name."""
+        if not name:
+            raise InvalidParameterError("query name must be non-empty")
+        if name in self._shard_of or name in self._local:
+            raise InvalidParameterError(f"query {name!r} already registered")
+        if self._inline:
+            self._local[name] = monitor
+            self._order.append(name)
+            return
+        index = self._pick_shard()
+        shard = self._shard(index)
+        self._call(shard, _w_add, name, pickle.dumps(monitor))
+        shard.names.append(name)
+        self._shard_of[name] = index
+        self._order.append(name)
+        # registry changes invalidate the old snapshot's name set
+        self._checkpoint(shard)
+
+    def add_backfilled(
+        self, name: str, monitor: MaxRSMonitor, source: str
+    ) -> None:
+        """Register a query bulk-loaded with the alive objects of an
+        existing query (which may live on any shard)."""
+        if self._inline:
+            donor = self._local.get(source)
+            if donor is None:
+                raise InvalidParameterError(f"unknown source query {source!r}")
+            contents = list(donor.window.contents)
+        else:
+            donor_index = self._shard_of.get(source)
+            if donor_index is None:
+                raise InvalidParameterError(f"unknown source query {source!r}")
+            contents = self._call(
+                self._shards[donor_index], _w_contents, source
+            )
+        if contents:
+            monitor.ingest(contents)
+        self.add(name, monitor)
+
+    def remove(self, name: str) -> MaxRSMonitor:
+        """Unregister and return a query's monitor."""
+        if self._inline:
+            monitor = self._local.pop(name, None)
+            if monitor is None:
+                raise InvalidParameterError(f"unknown query {name!r}")
+            self._order.remove(name)
+            return monitor
+        index = self._shard_of.pop(name, None)
+        if index is None:
+            raise InvalidParameterError(f"unknown query {name!r}")
+        shard = self._shards[index]
+        monitor = pickle.loads(self._call(shard, _w_remove, name))
+        shard.names.remove(name)
+        self._order.remove(name)
+        self._checkpoint(shard)
+        return monitor
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shard_of or name in self._local
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._order)
+
+    # -- serving -------------------------------------------------------------
+
+    def update(
+        self, batch: Sequence[SpatialObject]
+    ) -> Dict[str, MaxRSResult]:
+        """Push one arrival batch through every registered query.
+
+        Shard updates run concurrently; the returned dict is merged in
+        registration order, independent of shard completion order.
+        """
+        if not self._order:
+            raise InvalidParameterError(
+                "no queries registered; add() one before update()"
+            )
+        if self._inline:
+            return {
+                name: self._local[name].update(batch) for name in self._order
+            }
+        batch = list(batch)
+        live = [s for s in self._shards.values() if s.names]
+        pending = []
+        for shard in live:
+            try:
+                pending.append((shard, shard.executor.submit(_w_update, batch)))
+            except BrokenProcessPool:
+                pending.append((shard, None))
+        merged: Dict[str, MaxRSResult] = {}
+        for shard, future in pending:
+            try:
+                if future is None:
+                    raise BrokenProcessPool("worker died before submit")
+                part = future.result()
+            except BrokenProcessPool:
+                self._recover(shard)
+                part = shard.executor.submit(_w_update, batch).result()
+            merged.update(part)
+        for shard in live:
+            shard.replay.append(batch)
+            if len(shard.replay) >= self.snapshot_every:
+                self._checkpoint(shard)
+        return {name: merged[name] for name in self._order}
+
+    def update_guarded(
+        self, records: Sequence[object]
+    ) -> Dict[str, MaxRSResult]:
+        """Filter one raw batch through the ingest guard, then update."""
+        if self.guard is None:
+            raise InvalidParameterError(
+                "no ingest guard configured; construct the group with "
+                "ParallelQueryGroup(guard=IngestGuard(...))"
+            )
+        return self.update(self.guard.filter(records))
+
+    def results(self) -> Dict[str, MaxRSResult]:
+        """Most recent answer per query without pushing anything."""
+        if self._inline:
+            return {name: self._local[name].result for name in self._order}
+        merged: Dict[str, MaxRSResult] = {}
+        for shard in self._shards.values():
+            if shard.names:
+                merged.update(self._call(shard, _w_results))
+        return {name: merged[name] for name in self._order}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def kill_worker(self, index: int = 0) -> None:
+        """Terminate one shard's worker process (chaos/testing hook).
+
+        The next operation touching the shard observes the broken pool
+        and recovers transparently; :attr:`recoveries` counts how often
+        that happened.
+        """
+        shard = self._shards.get(index)
+        if shard is None:
+            raise InvalidParameterError(f"no materialised shard {index}")
+        try:
+            shard.executor.submit(_w_kill).result()
+        except BrokenProcessPool:
+            pass
+
+    def close(self) -> None:
+        """Shut down all worker processes."""
+        for shard in self._shards.values():
+            shard.executor.shutdown(wait=False, cancel_futures=True)
+        self._shards.clear()
+
+    def __enter__(self) -> "ParallelQueryGroup":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -146,3 +146,72 @@ class TestAG2Basics:
         assert s.objects_seen == 40
         assert s.overlap_tests > 0
         assert s.local_sweeps > 0
+
+
+class TestDirtyLifecycle:
+    """The `dirty` flag must mean exactly "edges appended since the last
+    exact sweep" — it drives the Rule-2 resweep decision, so a stale
+    flag would either skip a needed sweep (wrong answers) or redo
+    provably identical work (the Property 3 argument wasted)."""
+
+    @staticmethod
+    def _assert_flag_consistent(m: AG2Monitor) -> None:
+        for cell in m._cells.values():
+            for v in cell.graph.iter_vertices():
+                assert v.dirty == (len(v.neighbors) != v.swept_degree), (
+                    f"vertex seq={v.seq}: dirty={v.dirty} but "
+                    f"deg={len(v.neighbors)} swept={v.swept_degree}"
+                )
+
+    def test_dirty_tracks_unswept_edges_over_stream(self):
+        m = mk(capacity=40)
+        for i in range(20):
+            m.update(make_objects(8, seed=400 + i, domain=60.0))
+            self._assert_flag_consistent(m)
+            m.check_invariants()
+
+    def test_rule2_pruned_vertex_stays_dirty_and_wins_after_expiry(self):
+        # one big cell so the light pair shares the (always visited)
+        # start cell with the heavy pair, but their dual rects do not
+        # overlap the heavies': Rule 2 prunes the light *vertices*
+        # (bound 2 < 100) and they must stay dirty — never swept
+        m = mk(capacity=6, side=4.0, cell_size=40.0)
+        m.update(
+            [
+                SpatialObject(x=5, y=5, weight=50.0),
+                SpatialObject(x=6, y=6, weight=50.0),
+                SpatialObject(x=30, y=30, weight=1.0),
+                SpatialObject(x=31, y=31, weight=1.0),
+            ]
+        )
+        assert m.result.best_weight == 100.0
+        light = [
+            v
+            for cell in m._cells.values()
+            for v in cell.graph.iter_vertices()
+            if v.wr.obj.x > 20
+        ]
+        assert len(light) == 2, "light pair should have vertices"
+        # edges live on the older endpoint: the older light vertex holds
+        # the edge and must be dirty because Rule 2 pruned its sweep
+        edged = [v for v in light if v.neighbors]
+        assert edged, "expected the older light vertex to hold the edge"
+        assert all(v.dirty for v in edged), "pruned vertices never swept"
+        self._assert_flag_consistent(m)
+        # expire the heavy pair: the dirty light pair must now be swept
+        # exactly and win with its combined weight
+        m.update(
+            [
+                SpatialObject(x=200, y=200, weight=0.1),
+                SpatialObject(x=201, y=201, weight=0.1),
+            ]
+        )
+        result = m.update(
+            [
+                SpatialObject(x=210, y=210, weight=0.1),
+                SpatialObject(x=211, y=211, weight=0.1),
+            ]
+        )
+        assert result.best_weight == 2.0
+        self._assert_flag_consistent(m)
+        m.check_invariants()

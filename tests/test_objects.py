@@ -80,3 +80,26 @@ class TestWeightedRect:
     def test_object_ids_order(self):
         objs = [SpatialObject(x=0, y=0, oid=i) for i in (5, 2, 9)]
         assert object_ids(objs) == [5, 2, 9]
+
+
+class TestDualRectCache:
+    """``dual_rect`` is the cached form of ``WeightedRect.from_object``
+    shared by every monitor (PR 4 caching layer)."""
+
+    def test_equals_uncached_transform(self):
+        from repro.core.objects import dual_rect
+
+        o = SpatialObject(x=3.5, y=-2.0, weight=4.0, oid=17)
+        cached = dual_rect(o, 10.0, 6.0)
+        reference = WeightedRect.from_object(o, 10.0, 6.0)
+        assert cached.rect == reference.rect
+        assert cached.weight == reference.weight
+        assert cached.obj is o
+
+    def test_repeat_call_returns_same_instance(self):
+        from repro.core.objects import dual_rect
+
+        o = SpatialObject(x=1.0, y=1.0, weight=2.0, oid=3)
+        assert dual_rect(o, 4.0, 4.0) is dual_rect(o, 4.0, 4.0)
+        # a different query size is a different cache entry
+        assert dual_rect(o, 4.0, 4.0) is not dual_rect(o, 8.0, 8.0)

@@ -1,0 +1,159 @@
+"""ParallelQueryGroup vs MultiQueryGroup equivalence and recovery.
+
+The parallel serving layer must be observationally identical to the
+serial one: same registry semantics, same per-query answers on the same
+fixed-seed stream — including queries added, removed and backfilled
+mid-stream — and a killed worker process must be recovered without the
+caller seeing an error or a wrong answer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ag2 import AG2Monitor
+from repro.core.g2 import G2Monitor
+from repro.engine.multi import MultiQueryGroup
+from repro.engine.parallel import ParallelQueryGroup
+from repro.errors import InvalidParameterError
+from repro.window import CountWindow
+
+
+def _batches(count: int, size: int = 25, seed: int = 42):
+    rng = random.Random(seed)
+    from repro.core.objects import SpatialObject
+
+    out = []
+    oid = 0
+    for _ in range(count):
+        batch = []
+        for _ in range(size):
+            batch.append(
+                SpatialObject(
+                    x=rng.uniform(0, 2_000),
+                    y=rng.uniform(0, 2_000),
+                    weight=rng.uniform(0.5, 5.0),
+                    oid=oid,
+                )
+            )
+            oid += 1
+        out.append(batch)
+    return out
+
+
+def _monitor(index: int):
+    if index == 0:
+        return AG2Monitor(300, 300, CountWindow(150))
+    if index == 1:
+        return G2Monitor(200, 200, CountWindow(100))
+    return AG2Monitor(120, 120, CountWindow(120), epsilon=0.1)
+
+
+def _same_results(a, b):
+    assert list(a) == list(b)
+    for name in a:
+        assert a[name].regions == b[name].regions, name
+        assert a[name].mode == b[name].mode
+
+
+@pytest.fixture
+def parallel():
+    group = ParallelQueryGroup(workers=2, snapshot_every=3)
+    yield group
+    group.close()
+
+
+class TestEquivalence:
+    def test_fixed_seed_three_query_stream(self, parallel):
+        serial = MultiQueryGroup()
+        for i in range(3):
+            serial.add(f"q{i}", _monitor(i))
+            parallel.add(f"q{i}", _monitor(i))
+        for batch in _batches(8):
+            _same_results(serial.update(batch), parallel.update(batch))
+        _same_results(serial.results(), parallel.results())
+
+    def test_add_remove_backfill_mid_stream(self, parallel):
+        serial = MultiQueryGroup()
+        for i in range(2):
+            serial.add(f"q{i}", _monitor(i))
+            parallel.add(f"q{i}", _monitor(i))
+        batches = _batches(9, seed=7)
+        for tick, batch in enumerate(batches):
+            if tick == 3:
+                # late-added query, backfilled from q0's window
+                serial.add_backfilled("late", _monitor(2), source="q0")
+                parallel.add_backfilled("late", _monitor(2), source="q0")
+            if tick == 6:
+                serial.remove("q1")
+                removed = parallel.remove("q1")
+                assert removed.rect_width == 200
+                assert "q1" not in parallel
+            _same_results(serial.update(batch), parallel.update(batch))
+        assert parallel.names == ("q0", "late")
+
+    def test_inline_fallback_matches_serial(self):
+        serial = MultiQueryGroup()
+        inline = ParallelQueryGroup(workers=0)
+        serial.add("q", _monitor(0))
+        inline.add("q", _monitor(0))
+        for batch in _batches(4, seed=3):
+            _same_results(serial.update(batch), inline.update(batch))
+        assert len(inline) == 1
+        inline.close()  # no-op without workers
+
+
+class TestRecovery:
+    def test_killed_worker_recovers_with_correct_answers(self, parallel):
+        serial = MultiQueryGroup()
+        for i in range(3):
+            serial.add(f"q{i}", _monitor(i))
+            parallel.add(f"q{i}", _monitor(i))
+        batches = _batches(10, seed=11)
+        for tick, batch in enumerate(batches):
+            if tick in (4, 7):
+                parallel.kill_worker(tick % 2)
+            _same_results(serial.update(batch), parallel.update(batch))
+        assert parallel.recoveries >= 2
+
+    def test_kill_before_registry_ops_still_consistent(self, parallel):
+        serial = MultiQueryGroup()
+        for i in range(2):
+            serial.add(f"q{i}", _monitor(i))
+            parallel.add(f"q{i}", _monitor(i))
+        batches = _batches(4, seed=19)
+        _same_results(serial.update(batches[0]), parallel.update(batches[0]))
+        parallel.kill_worker(0)
+        # registry op on the dead shard triggers recovery transparently
+        serial.add("q2", _monitor(2))
+        parallel.add("q2", _monitor(2))
+        for batch in batches[1:]:
+            _same_results(serial.update(batch), parallel.update(batch))
+        assert parallel.recoveries >= 1
+
+
+class TestRegistry:
+    def test_validation(self, parallel):
+        with pytest.raises(InvalidParameterError):
+            parallel.update([])
+        parallel.add("q", _monitor(0))
+        with pytest.raises(InvalidParameterError):
+            parallel.add("q", _monitor(1))
+        with pytest.raises(InvalidParameterError):
+            parallel.add("", _monitor(1))
+        with pytest.raises(InvalidParameterError):
+            parallel.remove("missing")
+        with pytest.raises(InvalidParameterError):
+            parallel.add_backfilled("x", _monitor(1), source="missing")
+        with pytest.raises(InvalidParameterError):
+            ParallelQueryGroup(workers=-1)
+        with pytest.raises(InvalidParameterError):
+            ParallelQueryGroup(snapshot_every=0)
+
+    def test_context_manager_closes(self):
+        with ParallelQueryGroup(workers=1) as group:
+            group.add("q", _monitor(0))
+            group.update(_batches(1)[0])
+        assert group._shards == {}

@@ -144,3 +144,47 @@ class TestProfileCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "per-batch deltas" in out
+
+
+class TestDerivedRates:
+    def test_rows_cover_every_batch_and_monitor(self, profile):
+        rows = profile.rate_rows()
+        assert len(rows) == TINY.batches * 3
+        assert {row["monitor"] for row in rows} == {"naive", "g2", "ag2"}
+
+    def test_rates_are_normalised_and_bounded(self, profile):
+        for row in profile.rate_rows():
+            assert 0.0 <= row["prune_fraction"] <= 1.0
+            assert row["sweeps_per_arrival"] >= 0.0
+            assert row["overlap_tests_per_arrival"] >= 0.0
+
+    def test_naive_sweeps_once_per_batch(self, profile):
+        naive = [r for r in profile.rate_rows() if r["monitor"] == "naive"]
+        for row in naive:
+            # one full sweep per update, whatever the batch size
+            assert row["sweeps_per_arrival"] == 1.0 / TINY.batch_size
+            assert row["prune_fraction"] == 0.0
+
+    def test_ag2_prunes_a_positive_fraction(self, profile):
+        ag2 = [r for r in profile.rate_rows() if r["monitor"] == "ag2"]
+        assert any(row["prune_fraction"] > 0.0 for row in ag2)
+
+    def test_rates_embedded_in_json_artifact(self, profile):
+        doc = json.loads(json.dumps(profile.to_dict()))
+        assert doc["derived_rates"] == profile.rate_rows()
+
+    def test_cli_rates_table(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--window", "300",
+                "--rate", "50",
+                "--batches", "2",
+                "--algorithms", "ag2",
+                "--rates",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-batch derived rates" in out
+        assert "prune_fraction" in out

@@ -164,3 +164,80 @@ def test_insert_then_remove_cancels(size: int, seed: int):
         tree.add(lo, hi, -w)
     assert tree.max_value == pytest.approx(0.0, abs=1e-9)
     assert all(abs(v) < 1e-9 for v in tree.to_list())
+
+
+class TestReset:
+    def test_reset_clears_state(self):
+        tree = MaxCoverSegmentTree(8)
+        tree.add(2, 6, 4.0)
+        tree.reset(8)
+        assert tree.max_value == 0.0
+        assert tree.argmax == 0
+        assert tree.to_list() == [0.0] * 8
+
+    def test_reset_shrink_reuses_arrays(self):
+        tree = MaxCoverSegmentTree(32)
+        tree.add(0, 31, 1.0)
+        backing = tree._mx
+        tree.reset(5)
+        assert tree._mx is backing  # no reallocation on shrink
+        assert tree.size == 5
+        assert tree.to_list() == [0.0] * 5
+        tree.add(1, 3, 2.0)
+        assert (tree.max_value, tree.argmax) == (2.0, 1)
+
+    def test_reset_grow_reallocates(self):
+        tree = MaxCoverSegmentTree(4)
+        tree.reset(64)
+        assert tree.size == 64
+        tree.add(60, 63, 7.0)
+        assert (tree.max_value, tree.argmax) == (7.0, 60)
+
+    def test_reset_invalid_size(self):
+        tree = MaxCoverSegmentTree(4)
+        with pytest.raises(InvalidParameterError):
+            tree.reset(0)
+
+    def test_stale_state_cannot_leak_after_shrink(self):
+        tree = MaxCoverSegmentTree(16)
+        tree.add(10, 15, 100.0)  # only slots outside the shrunken range
+        tree.reset(3)
+        assert tree.max_value == 0.0
+        tree.add(0, 0, 1.0)
+        assert (tree.max_value, tree.argmax) == (1.0, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=25), min_size=2, max_size=5
+    ),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_reset_reuse_matches_fresh_tree(sizes: list[int], seed: int):
+    """One pooled tree driven through reset() phases behaves exactly
+    like a freshly constructed tree of each phase's size."""
+    rng = random.Random(seed)
+    pooled = MaxCoverSegmentTree(sizes[0])
+    for phase, size in enumerate(sizes):
+        if phase:
+            pooled.reset(size)
+        fresh = MaxCoverSegmentTree(size)
+        ref = _NaiveArray(size)
+        for _ in range(rng.randrange(1, 12)):
+            lo = rng.randrange(size)
+            hi = rng.randrange(lo, size)
+            delta = rng.choice([-2.0, -0.5, 1.0, 3.0])
+            for t in (pooled, fresh):
+                t.add(lo, hi, delta)
+            ref.add(lo, hi, delta)
+        # pooled and fresh saw identical op sequences: results must be
+        # bit-identical, not merely approximately equal
+        assert pooled.peek() == fresh.peek()
+        assert pooled.to_list() == fresh.to_list()
+        qlo = rng.randrange(size)
+        qhi = rng.randrange(qlo, size)
+        assert pooled.range_max(qlo, qhi) == fresh.range_max(qlo, qhi)
+        rval, _rarg = ref.range_max(qlo, qhi)
+        assert pooled.range_max(qlo, qhi)[0] == pytest.approx(rval)
+        assert pooled.max_value == pytest.approx(max(ref.values))
