@@ -18,7 +18,7 @@ Usage::
     python scripts/perf_gate.py m.json
 
 **Bench mode** — compares a fresh ``maxrs-stream bench`` document
-against the committed baseline (``BENCH_PR4.json``) on
+against the committed baseline (``BENCH_PR6.json``) on
 ``speedup_vs_naive``, per (monitor, dataset) row.  The speedup is a
 ratio *within* one run on one machine, so absolute host speed cancels
 out; what remains is the algorithmic advantage over the naive
@@ -27,12 +27,16 @@ fails when any indexed monitor's speedup falls more than ``--tolerance``
 (default 15%) below the baseline row.  The multi-query ``scaling``
 ratio is gated the same way, but only when both the baseline and the
 current host have at least two CPUs — on one core the honest ratio is
-below 1 and carries no signal.
+below 1 and carries no signal.  When both aG2 backends appear on a
+dataset in both documents, the *adaptive-index advantage* —
+quadtree-aG2 speedup over uniform-grid-aG2 speedup — is additionally
+gated against the baseline's advantage at twice the tolerance (the
+advantage is a ratio of two independently gated ratios).
 
 Usage::
 
     maxrs-stream bench --seed 42 --profile quick --out fresh.json
-    python scripts/perf_gate.py --bench fresh.json --baseline BENCH_PR4.json
+    python scripts/perf_gate.py --bench fresh.json --baseline BENCH_PR6.json
 
 Exits 0 when every check passes, 1 with a diagnostic otherwise.
 """
@@ -44,7 +48,12 @@ import json
 import sys
 
 #: monitors whose speedup_vs_naive is gated (naive is the denominator)
-GATED_MONITORS = ("g2", "ag2", "rtree", "topk")
+GATED_MONITORS = ("g2", "ag2", "ag2_quadtree", "rtree", "topk")
+
+#: datasets where the adaptive-index advantage (quadtree aG2 speedup
+#: over uniform-grid aG2 speedup, within one run) is gated against the
+#: baseline's advantage — the skewed rows exist for this comparison
+ADVANTAGE_DATASETS = ("gaussian", "gauss_static", "gauss_drift", "powerlaw")
 
 
 def check(metrics_path: str) -> list[str]:
@@ -111,6 +120,16 @@ def _speedup_index(doc: dict) -> dict:
     return index
 
 
+def _backend_index(doc: dict) -> dict:
+    """(profile, monitor, dataset) -> index backend (schema 2 rows)."""
+    index: dict = {}
+    for profile_name, profile_doc in doc.get("profiles", {}).items():
+        for row in profile_doc.get("rows", []):
+            key = (profile_name, row["monitor"], row["dataset"])
+            index[key] = row.get("backend", "none")
+    return index
+
+
 def check_bench(
     bench_path: str, baseline_path: str, tolerance: float
 ) -> list[str]:
@@ -123,6 +142,7 @@ def check_bench(
     failures: list[str] = []
     base_index = _speedup_index(baseline)
     cur_index = _speedup_index(current)
+    backends = _backend_index(current)
     compared = 0
     for key, base_speedup in sorted(base_index.items()):
         profile_name, monitor, dataset = key
@@ -142,8 +162,10 @@ def check_bench(
         compared += 1
         floor = base_speedup * (1.0 - tolerance)
         if cur_speedup < floor:
+            backend = backends.get(key, "none")
             failures.append(
-                f"kernel throughput regression: {monitor} on {dataset} "
+                f"kernel throughput regression: {monitor} "
+                f"[{backend} backend] on {dataset} "
                 f"({profile_name}) speedup_vs_naive {cur_speedup:.2f}x "
                 f"below floor {floor:.2f}x "
                 f"(baseline {base_speedup:.2f}x, tolerance {tolerance:.0%})"
@@ -153,6 +175,35 @@ def check_bench(
             "bench gate compared zero rows — profile names disagree "
             "between the baseline and the current document?"
         )
+
+    # adaptive-index advantage: quadtree-aG2 speedup over grid-aG2
+    # speedup, within one run, compared to the baseline's advantage.
+    # The advantage is a ratio of two independently gated ratios, so
+    # its tolerance composes both rows' allowances (2x the per-row
+    # tolerance) — otherwise +tol on one row and -tol on the other
+    # would flake a check that carries no new regression signal.
+    for profile_name in current.get("profiles", {}):
+        for dataset in ADVANTAGE_DATASETS:
+            values = []
+            for index in (base_index, cur_index):
+                grid = index.get((profile_name, "ag2", dataset))
+                quad = index.get((profile_name, "ag2_quadtree", dataset))
+                if not grid or not quad:
+                    values = []
+                    break
+                values.append(quad / grid)
+            if not values:
+                continue
+            base_adv, cur_adv = values
+            floor = base_adv * (1.0 - 2.0 * tolerance)
+            if cur_adv < floor:
+                failures.append(
+                    "adaptive-index advantage regression: "
+                    f"ag2_quadtree/ag2 on {dataset} ({profile_name}) "
+                    f"advantage {cur_adv:.2f}x below floor {floor:.2f}x "
+                    f"(baseline {base_adv:.2f}x, tolerance "
+                    f"{2.0 * tolerance:.0%})"
+                )
 
     # multi-query scaling: only meaningful with real parallel hardware
     base_cpus = baseline.get("cpu_count", 1)
@@ -187,7 +238,7 @@ def main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--baseline", metavar="PATH",
-        help="bench-mode: committed baseline JSON (e.g. BENCH_PR4.json)",
+        help="bench-mode: committed baseline JSON (e.g. BENCH_PR6.json)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.15,

@@ -8,12 +8,25 @@ canonical workloads (uniform = ``synthetic``, gaussian =
 * ``ops_per_s``   — arrival throughput (objects processed per second),
 * ``mean_ms`` / ``p95_ms`` — per-batch update latency,
 * ``speedup_vs_naive`` — naive mean over this monitor's mean on the
-  *same* dataset in the *same* run.
+  *same* dataset in the *same* run,
+* ``backend``     — the spatial index that produced the row
+  (``uniform-grid`` / ``quadtree`` / ``rtree`` / ``none``), so a gate
+  failure names the offending index, not just the algorithm label.
+
+Three *skewed* workloads (``gauss_static``, ``gauss_drift``,
+``powerlaw``) additionally run the skew-relevant subset — naive,
+uniform-grid aG2 and quadtree aG2 — to measure the adaptive index
+exactly where the flat grid degrades (see docs/PERFORMANCE.md).
 
 ``speedup_vs_naive`` is the number the CI gate compares across runs:
 it is a ratio *within* one run on one machine, so it tracks algorithmic
 regressions while staying insensitive to how fast the host happens to
-be (absolute ``ops_per_s`` is recorded for humans, never gated).
+be (absolute ``ops_per_s`` is recorded for humans, never gated).  To
+keep that ratio stable on a noisy runner, every dataset is measured as
+``repeats`` interleaved *rounds* over the identical seeded stream and
+each batch keeps its fastest observation — noise only ever adds time,
+so per-batch minima converge on the true cost and the ratio of
+denoised means survives a 15% tolerance (see ``run_profile_suite``).
 
 A final *multi-query scaling* row times the same query set served by
 :class:`~repro.engine.multi.MultiQueryGroup` (serial) and
@@ -23,23 +36,27 @@ row records ``cpu_count`` because the ratio only exceeds 1 when the
 host actually has spare cores — on a single-CPU machine the honest
 number is below 1 and the gate skips it (see docs/PERFORMANCE.md).
 
-The committed baseline lives in ``BENCH_PR4.json`` at the repo root;
-regenerate it with ``maxrs-stream bench --seed 42 --out BENCH_PR4.json``
+The committed baseline lives in ``BENCH_PR6.json`` at the repo root;
+regenerate it with ``maxrs-stream bench --seed 42 --out BENCH_PR6.json``
 and compare a fresh run against it with
-``python scripts/perf_gate.py --bench new.json --baseline BENCH_PR4.json``.
+``python scripts/perf_gate.py --bench new.json --baseline BENCH_PR6.json``.
 """
 
 from __future__ import annotations
 
+import gc
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence
 
 from repro.core.ag2 import AG2Monitor
 from repro.core.g2 import G2Monitor
+from repro.core.grid import _cell_keys_cached
 from repro.core.monitor import MaxRSMonitor
 from repro.core.naive import NaiveMonitor
+from repro.core.objects import dual_rect
+from repro.core.quadtree import QuadtreeAG2Monitor
 from repro.core.rtree_monitor import RTreeMonitor
 from repro.core.topk import TopKAG2Monitor
 from repro.datasets import make_stream
@@ -52,6 +69,8 @@ __all__ = [
     "BENCH_DATASETS",
     "BENCH_MONITORS",
     "BENCH_SCHEMA",
+    "BENCH_SKEW_DATASETS",
+    "BENCH_SKEW_MONITORS",
     "BenchProfile",
     "PROFILES",
     "bench_rows",
@@ -60,10 +79,20 @@ __all__ = [
     "scaling_rows",
 ]
 
-BENCH_SCHEMA = 1
+#: 2: added the skewed workload rows, the ag2_quadtree monitor and the
+#: per-row ``backend`` field (PR 6)
+BENCH_SCHEMA = 2
 
 #: benchmark dataset label -> repro.datasets workload name
 BENCH_DATASETS = {"uniform": "synthetic", "gaussian": "geolife_like"}
+
+#: skewed workload label -> repro.datasets workload name; these rows
+#: exist to measure the adaptive index where the flat grid degrades
+BENCH_SKEW_DATASETS = {
+    "gauss_static": "hotspot_static",
+    "gauss_drift": "hotspot_drift",
+    "powerlaw": "powerlaw_cities",
+}
 
 MonitorFactory = Callable[[float, int], MaxRSMonitor]
 
@@ -72,11 +101,19 @@ BENCH_MONITORS: Dict[str, MonitorFactory] = {
     "naive": lambda side, w: NaiveMonitor(side, side, CountWindow(w)),
     "g2": lambda side, w: G2Monitor(side, side, CountWindow(w)),
     "ag2": lambda side, w: AG2Monitor(side, side, CountWindow(w)),
+    "ag2_quadtree": lambda side, w: QuadtreeAG2Monitor(
+        side, side, CountWindow(w)
+    ),
     "rtree": lambda side, w: RTreeMonitor(side, side, CountWindow(w)),
     "topk": lambda side, w: TopKAG2Monitor(
         side, side, CountWindow(w), k=10
     ),
 }
+
+#: the subset run on the skewed workloads: the naive denominator plus
+#: the two aG2 index backends under comparison (the full matrix would
+#: triple the suite's runtime for rows no gate consumes)
+BENCH_SKEW_MONITORS = ("naive", "ag2", "ag2_quadtree")
 
 
 @dataclass(frozen=True, slots=True)
@@ -89,6 +126,10 @@ class BenchProfile:
     batches: int
     rect_side: float = 1000.0
     domain: float = 140_000.0
+    #: interleaved measurement rounds per dataset; every row's numbers
+    #: come from per-batch minima across rounds (see
+    #: ``run_profile_suite.run_dataset`` for the noise argument).
+    repeats: int = 1
     # multi-query scaling row sizing
     mq_queries: int = 4
     mq_workers: int = 2
@@ -98,11 +139,14 @@ class BenchProfile:
 
 
 PROFILES: Dict[str, BenchProfile] = {
-    "full": BenchProfile(window_size=4_000, batch_size=200, batches=12),
+    "full": BenchProfile(
+        window_size=4_000, batch_size=200, batches=12, repeats=2
+    ),
     "quick": BenchProfile(
         window_size=1_000,
         batch_size=100,
-        batches=5,
+        batches=10,
+        repeats=5,
         mq_window=800,
         mq_batch_size=80,
         mq_batches=4,
@@ -116,20 +160,52 @@ def _p95(samples: List[float]) -> float:
     return ordered[index]
 
 
-def _time_monitor(
+def _time_once(
     monitor: MaxRSMonitor, profile: BenchProfile, dataset: str, seed: int
 ) -> List[float]:
-    """Prime the window untimed, then time ``batches`` updates (s)."""
+    """Prime the window untimed, then time ``batches`` updates (s).
+
+    Every row starts from the same heap state: the shared dual-rect
+    cache is cleared, the previous row's garbage is collected up front,
+    and the collector is paused while the clock runs.  Without this the
+    rows are order-biased — later monitors inherit a bigger heap and
+    pay the earlier rows' GC pauses inside their timed region, which
+    showed up as ±30% swings when the suite order was shuffled.
+    The module-level cell-cover cache is cleared for the same reason:
+    rows share rectangle geometry, so without the reset later rows run
+    against a warm cover cache (and the bigger heap behind it) that
+    the first rows never saw.
+    """
+    dual_rect.cache_clear()
+    _cell_keys_cached.cache_clear()
     stream = make_stream(dataset, domain=profile.domain, seed=seed)
     monitor.ingest(stream.take(profile.window_size))
-    perf = time.perf_counter
-    times: List[float] = []
-    for _ in range(profile.batches):
-        batch = stream.take(profile.batch_size)
-        start = perf()
-        monitor.update(batch)
-        times.append(perf() - start)
+    # One full window turnover untimed before the clock starts: the
+    # one-shot priming ingest leaves every monitor in an atypical
+    # state, and per-batch cost ramps to its steady plateau only once
+    # the primed cohort has expired (G2's climbs ~20x over that span,
+    # naive's falls ~2x).  Timing from the plateau measures what a
+    # long-running monitor actually costs per batch.
+    turnover = -(-profile.window_size // profile.batch_size)
+    for _ in range(turnover):
+        monitor.update(stream.take(profile.batch_size))
+    batches = [stream.take(profile.batch_size) for _ in range(profile.batches)]
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        perf = time.perf_counter
+        times: List[float] = []
+        for batch in batches:
+            start = perf()
+            monitor.update(batch)
+            times.append(perf() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
     return times
+
+
 
 
 def _mq_monitors(profile: BenchProfile) -> Dict[str, MaxRSMonitor]:
@@ -191,19 +267,53 @@ def run_profile_suite(
             f"unknown bench profile {name!r}; expected one of {tuple(PROFILES)}"
         )
     rows: List[Dict[str, object]] = []
-    naive_mean: Dict[str, float] = {}
-    for ds_label, dataset in BENCH_DATASETS.items():
-        for mon_label, factory in BENCH_MONITORS.items():
-            monitor = factory(profile.rect_side, profile.window_size)
-            times = _time_monitor(monitor, profile, dataset, seed)
+
+    def run_dataset(
+        ds_label: str, dataset: str, monitor_labels: Sequence[str]
+    ) -> None:
+        """One dataset's rows, measured as interleaved rounds.
+
+        Each round times *every* monitor (naive included) back to
+        back over the identical seeded stream, and each batch keeps
+        its fastest observation across rounds.  Scheduler preemption
+        and page faults only ever *add* time, so the per-batch minimum
+        converges on the true cost as rounds accumulate; interleaving
+        the rounds means every monitor's minima sample the same span
+        of the host's speed history, so slow drift (frequency scaling,
+        allocator layout, co-tenant load) cannot land on one side of a
+        ratio only.  ``speedup_vs_naive`` — the number the CI gate
+        compares — is the ratio of these denoised means.  Single-shot
+        5-batch means swung ±20–30% between runs on a busy 1-CPU
+        host, tripping the 15% gate on pure noise; the minima hold
+        rows steady within a few percent.
+        """
+        rounds = max(1, profile.repeats)
+        best: Dict[str, List[float]] = {}
+        backends: Dict[str, str] = {}
+        for _ in range(rounds):
+            for mon_label in monitor_labels:
+                monitor = BENCH_MONITORS[mon_label](
+                    profile.rect_side, profile.window_size
+                )
+                backends[mon_label] = monitor.backend
+                times = _time_once(monitor, profile, dataset, seed)
+                if mon_label in best:
+                    best[mon_label] = [
+                        min(a, b) for a, b in zip(best[mon_label], times)
+                    ]
+                else:
+                    best[mon_label] = times
+        naive_times = best["naive"]
+        naive_mean_ms = sum(naive_times) / len(naive_times) * 1000.0
+        for mon_label in monitor_labels:
+            times = best[mon_label]
             total = sum(times)
             mean_ms = total / len(times) * 1000.0
-            if mon_label == "naive":
-                naive_mean[ds_label] = mean_ms
             rows.append(
                 {
                     "monitor": mon_label,
                     "dataset": ds_label,
+                    "backend": backends[mon_label],
                     "ops_per_s": (
                         profile.batch_size * len(times) / total
                         if total > 0
@@ -212,14 +322,20 @@ def run_profile_suite(
                     "mean_ms": mean_ms,
                     "p95_ms": _p95(times) * 1000.0,
                     "speedup_vs_naive": (
-                        naive_mean[ds_label] / mean_ms if mean_ms > 0 else 0.0
+                        naive_mean_ms / mean_ms if mean_ms > 0 else 0.0
                     ),
                 }
             )
+
+    for ds_label, dataset in BENCH_DATASETS.items():
+        run_dataset(ds_label, dataset, tuple(BENCH_MONITORS))
+    for ds_label, dataset in BENCH_SKEW_DATASETS.items():
+        run_dataset(ds_label, dataset, BENCH_SKEW_MONITORS)
     doc: Dict[str, object] = {
         "window_size": profile.window_size,
         "batch_size": profile.batch_size,
         "batches": profile.batches,
+        "repeats": profile.repeats,
         "rows": rows,
     }
     if scaling:

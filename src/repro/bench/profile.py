@@ -12,8 +12,8 @@ JSON artefact (``scripts/perf_gate.py``).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Sequence
 
 from repro.bench.config import ExperimentConfig
 from repro.bench.runners import ALGORITHMS, build_monitor
@@ -57,6 +57,8 @@ class ProfileReport:
     config: ExperimentConfig
     report: EngineReport
     primed: int
+    #: monitor name -> spatial index backend that produced its numbers
+    backends: Dict[str, str] = field(default_factory=dict)
 
     def summary_rows(self) -> list[dict[str, object]]:
         """One row per monitor: mean update time + lifetime counters."""
@@ -65,6 +67,7 @@ class ProfileReport:
         for name, snap in self.report.metrics.items():
             row: dict[str, object] = {
                 "monitor": name,
+                "backend": self.backends.get(name, "none"),
                 "mean_ms": self.report.mean_ms(name),
             }
             for column in columns:
@@ -130,6 +133,7 @@ class ProfileReport:
         doc = self.report.to_dict()
         doc["config"] = asdict(self.config)
         doc["primed"] = self.primed
+        doc["backends"] = dict(self.backends)
         doc["derived_rates"] = self.rate_rows()
         return doc
 
@@ -151,4 +155,9 @@ def run_profile(
     )
     primed = engine.prime(cfg.window_size)
     report = engine.run(cfg.batches)
-    return ProfileReport(config=cfg, report=report, primed=primed)
+    return ProfileReport(
+        config=cfg,
+        report=report,
+        primed=primed,
+        backends={name: mon.backend for name, mon in monitors.items()},
+    )

@@ -8,7 +8,7 @@ Subcommands mirror the paper's evaluation artefacts::
     maxrs-stream topk --ks 1,10,25
     maxrs-stream ablation
     maxrs-stream profile --window 2000 --batches 10 --json metrics.json
-    maxrs-stream bench --seed 42 --out BENCH_PR4.json
+    maxrs-stream bench --seed 42 --out BENCH_PR6.json
     maxrs-stream chaos --batches 200 --policy quarantine
     maxrs-stream overload --pattern square --burst-factor 10
 
@@ -71,6 +71,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=DEFAULT_CONFIG.seed,
         help="stream seed (default: %(default)s)",
     )
+    parser.add_argument(
+        "--index", default=DEFAULT_CONFIG.index,
+        choices=("grid", "quadtree"),
+        help="spatial index backing aG2: the paper's uniform grid or "
+        "the skew-adaptive quadtree (default: %(default)s)",
+    )
 
 
 def _config(args: argparse.Namespace, **extra: object) -> ExperimentConfig:
@@ -82,6 +88,7 @@ def _config(args: argparse.Namespace, **extra: object) -> ExperimentConfig:
         domain=args.domain,
         batches=args.batches,
         seed=args.seed,
+        index=getattr(args, "index", DEFAULT_CONFIG.index),
     ).with_(**extra)
 
 
@@ -288,9 +295,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench",
-        help="fixed-seed benchmark suite: every monitor x uniform/gaussian "
-        "plus a multi-query scaling row; writes the JSON document the "
-        "CI bench gate compares against the committed BENCH_PR4.json",
+        help="fixed-seed benchmark suite: every monitor x uniform/gaussian, "
+        "skewed-workload rows (static/drifting hotspot, power-law cities) "
+        "for the aG2 index backends, plus a multi-query scaling row; "
+        "writes the JSON document the CI bench gate compares against the "
+        "committed BENCH_PR6.json",
     )
     p_bench.add_argument(
         "--seed", type=int, default=42,

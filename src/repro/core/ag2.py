@@ -92,6 +92,8 @@ class AG2Monitor(MaxRSMonitor):
         cell_size: Grid resolution; defaults to twice the query size.
     """
 
+    backend = "uniform-grid"
+
     def __init__(
         self,
         rect_width: float,

@@ -58,6 +58,8 @@ class _G2Cell:
 class G2Monitor(MaxRSMonitor):
     """Basic incremental monitor using the G2 index (Algorithm 1)."""
 
+    backend = "uniform-grid"
+
     def __init__(
         self,
         rect_width: float,

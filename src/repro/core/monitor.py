@@ -77,6 +77,11 @@ class MaxRSMonitor(ABC):
             :meth:`update` rather than mutating the window directly.
     """
 
+    #: which spatial index backs this monitor ("none" for index-free
+    #: baselines); benchmark/profile rows carry it so a perf-gate
+    #: failure names the offending backend, not just the algorithm
+    backend: str = "none"
+
     def __init__(
         self,
         rect_width: float,

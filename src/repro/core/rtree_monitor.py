@@ -34,6 +34,8 @@ __all__ = ["RTreeMonitor"]
 class RTreeMonitor(MaxRSMonitor):
     """Incremental exact MaxRS monitor backed by an R-tree (ablation)."""
 
+    backend = "rtree"
+
     def __init__(
         self,
         rect_width: float,

@@ -11,7 +11,13 @@ concentrated than T-Drive).  Weights are uniform ``[0, 1000]`` as in
 
 from __future__ import annotations
 
-from repro.streams.mixture import Hotspot, HotspotMixtureStream
+import random
+
+from repro.streams.mixture import (
+    DriftingHotspotStream,
+    Hotspot,
+    HotspotMixtureStream,
+)
 from repro.streams.source import StreamSource
 from repro.streams.synthetic import UniformStream
 from repro.streams.trajectory import TrajectoryFleetStream
@@ -22,9 +28,20 @@ __all__ = [
     "make_tdrive_like",
     "make_geolife_like",
     "make_roma_like",
+    "make_hotspot_static",
+    "make_hotspot_drift",
+    "make_powerlaw_cities",
 ]
 
-DATASET_NAMES = ("synthetic", "tdrive_like", "geolife_like", "roma_like")
+DATASET_NAMES = (
+    "synthetic",
+    "tdrive_like",
+    "geolife_like",
+    "roma_like",
+    "hotspot_static",
+    "hotspot_drift",
+    "powerlaw_cities",
+)
 
 
 def make_synthetic(
@@ -95,6 +112,83 @@ def make_roma_like(
     return HotspotMixtureStream(
         hotspots=hotspots,
         background_share=0.14,
+        domain=domain,
+        weight_max=weight_max,
+        seed=seed,
+    )
+
+
+def make_hotspot_static(
+    domain: float, seed: int = 0, weight_max: float = 1000.0
+) -> StreamSource:
+    """Single stationary Gaussian hotspot holding ~90% of the stream.
+
+    The purest skew stress: a flat grid funnels nearly everything into
+    a handful of cells, while an adaptive index can refine exactly the
+    hotspot and answer from small leaves.
+    """
+    return HotspotMixtureStream(
+        hotspots=[Hotspot(cx=0.5, cy=0.5, sigma=0.02, share=0.9)],
+        background_share=0.10,
+        domain=domain,
+        weight_max=weight_max,
+        seed=seed,
+    )
+
+
+def make_hotspot_drift(
+    domain: float, seed: int = 0, weight_max: float = 1000.0
+) -> StreamSource:
+    """Two tight hotspots orbiting the domain centre.
+
+    Exercises the merge half of an adaptive split/merge policy: the
+    refined region must follow the mass, so structure built behind the
+    hotspot has to be torn down (or it accumulates as dead resolution).
+    """
+    return DriftingHotspotStream(
+        hotspots=[
+            Hotspot(cx=0.35, cy=0.50, sigma=0.02, share=0.5),
+            Hotspot(cx=0.65, cy=0.50, sigma=0.02, share=0.4),
+        ],
+        drift_radius=0.18,
+        period=6_000,
+        background_share=0.10,
+        domain=domain,
+        weight_max=weight_max,
+        seed=seed,
+    )
+
+
+def make_powerlaw_cities(
+    domain: float,
+    seed: int = 0,
+    weight_max: float = 1000.0,
+    cities: int = 12,
+    alpha: float = 1.2,
+) -> StreamSource:
+    """Zipf-distributed city system: many hotspots, power-law shares.
+
+    City ``i`` (1-based by rank) receives share ``i**-alpha`` — a few
+    dominant metros plus a long tail of small towns, the classic urban
+    population law.  Positions are seeded-random, so different seeds
+    give different maps but the same skew profile.  Unlike the
+    single-hotspot workloads this one needs *several* refinement depths
+    simultaneously: deep leaves in the metros, coarse tiles in the tail.
+    """
+    placer = random.Random(seed ^ 0x5EED)
+    hotspots = [
+        Hotspot(
+            cx=placer.uniform(0.1, 0.9),
+            cy=placer.uniform(0.1, 0.9),
+            # bigger cities sprawl a little wider
+            sigma=0.015 + 0.02 * (rank + 1) ** -0.5,
+            share=(rank + 1) ** -alpha,
+        )
+        for rank in range(cities)
+    ]
+    return HotspotMixtureStream(
+        hotspots=hotspots,
+        background_share=0.05 * sum(h.share for h in hotspots),
         domain=domain,
         weight_max=weight_max,
         seed=seed,

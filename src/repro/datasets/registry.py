@@ -24,6 +24,9 @@ _REGISTRY: Dict[str, StreamFactory] = {
     "tdrive_like": profiles.make_tdrive_like,
     "geolife_like": profiles.make_geolife_like,
     "roma_like": profiles.make_roma_like,
+    "hotspot_static": profiles.make_hotspot_static,
+    "hotspot_drift": profiles.make_hotspot_drift,
+    "powerlaw_cities": profiles.make_powerlaw_cities,
 }
 
 

@@ -32,6 +32,7 @@ from repro.core.g2 import G2Monitor
 from repro.core.monitor import MaxRSMonitor
 from repro.core.naive import NaiveMonitor
 from repro.core.objects import SpatialObject
+from repro.core.quadtree import QuadtreeAG2Monitor
 from repro.core.topk import TopKAG2Monitor
 from repro.errors import InvalidParameterError, SnapshotError
 from repro.window import CountWindow, SlidingWindow, TimeWindow
@@ -51,6 +52,7 @@ _MONITOR_KINDS = {
     "naive": NaiveMonitor,
     "g2": G2Monitor,
     "ag2": AG2Monitor,
+    "ag2_quadtree": QuadtreeAG2Monitor,
     "topk": TopKAG2Monitor,
 }
 
@@ -59,6 +61,8 @@ def _monitor_kind(monitor: MaxRSMonitor) -> str:
     # subclass checks from most to least specific
     if isinstance(monitor, TopKAG2Monitor):
         return "topk"
+    if isinstance(monitor, QuadtreeAG2Monitor):
+        return "ag2_quadtree"
     if isinstance(monitor, AG2Monitor):
         return "ag2"
     if isinstance(monitor, G2Monitor):
@@ -96,6 +100,17 @@ def snapshot(monitor: MaxRSMonitor) -> dict[str, Any]:
     if isinstance(monitor, TopKAG2Monitor):
         extra["k"] = monitor.k
         extra["cell_size"] = monitor.grid.cell_size
+    elif isinstance(monitor, QuadtreeAG2Monitor):
+        # the adaptive structure itself is derived state — replaying
+        # the window through ingest() regrows an equivalent tree
+        extra["epsilon"] = monitor.epsilon
+        extra["tile_size"] = monitor.tree.tile_size
+        extra["min_leaf_size"] = monitor.tree.min_leaf_size
+        extra["split_occupancy"] = monitor.split_occupancy
+        extra["merge_occupancy"] = monitor.merge_occupancy
+        extra["split_load"] = monitor.split_load
+        extra["merge_load"] = monitor.merge_load
+        extra["load_decay"] = monitor.load_decay
     elif isinstance(monitor, AG2Monitor):
         extra["epsilon"] = monitor.epsilon
         extra["cell_size"] = monitor.grid.cell_size

@@ -1,6 +1,10 @@
 """Stream sources: synthetic workloads, trajectory simulators, replays."""
 
-from repro.streams.mixture import Hotspot, HotspotMixtureStream
+from repro.streams.mixture import (
+    DriftingHotspotStream,
+    Hotspot,
+    HotspotMixtureStream,
+)
 from repro.streams.replay import CsvStream, ReplayStream, write_csv
 from repro.streams.source import StreamSource, batches
 from repro.streams.synthetic import UniformStream
@@ -8,6 +12,7 @@ from repro.streams.trajectory import TrajectoryFleetStream
 
 __all__ = [
     "CsvStream",
+    "DriftingHotspotStream",
     "Hotspot",
     "HotspotMixtureStream",
     "ReplayStream",

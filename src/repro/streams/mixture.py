@@ -12,6 +12,7 @@ registry instantiates it with per-dataset profiles (DESIGN.md §3).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -20,7 +21,7 @@ from repro.core.objects import SpatialObject
 from repro.errors import InvalidParameterError
 from repro.streams.source import StreamSource
 
-__all__ = ["Hotspot", "HotspotMixtureStream"]
+__all__ = ["Hotspot", "HotspotMixtureStream", "DriftingHotspotStream"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,3 +119,109 @@ class HotspotMixtureStream(StreamSource):
             weight = rng.uniform(0.0, wmax) if wmax > 0 else 1.0
             yield SpatialObject(x=x, y=y, weight=weight, timestamp=t)
             t += self.dt
+
+
+class DriftingHotspotStream(StreamSource):
+    """Hotspots whose centres orbit their base positions over time.
+
+    This is the workload an *adaptive* spatial index must survive: the
+    mass concentration does not sit still, so any structure refined
+    around the current hotspot position must be torn down again as the
+    hotspot leaves — a static refinement (or an index without merging)
+    ends up paying for resolution where the data no longer is.
+
+    Each hotspot's centre traces a circle of radius ``drift_radius``
+    (a fraction of the domain) around its base position, completing one
+    revolution every ``period`` objects; hotspots are phase-shifted so
+    they do not move in lockstep.  Sampling is otherwise identical to
+    :class:`HotspotMixtureStream` (roulette hotspot selection, Gaussian
+    scatter, clamped to the domain, uniform background).
+
+    Args:
+        hotspots: Base cluster definitions (see :class:`Hotspot`).
+        drift_radius: Orbit radius as a fraction of the domain.
+        period: Objects per full revolution (must be positive).
+        background_share: Relative share of uniform background objects.
+        domain: Side length of the square monitoring space.
+        weight_max: Weights uniform in ``[0, weight_max]`` (0 → unit).
+        seed: Private RNG seed.
+        dt: Timestamp increment between objects.
+    """
+
+    def __init__(
+        self,
+        hotspots: Sequence[Hotspot],
+        drift_radius: float = 0.2,
+        period: int = 10_000,
+        background_share: float = 0.1,
+        domain: float = 1_000_000.0,
+        weight_max: float = 1000.0,
+        seed: int = 0,
+        dt: float = 1.0,
+    ) -> None:
+        if not hotspots:
+            raise InvalidParameterError("at least one hotspot is required")
+        if drift_radius < 0:
+            raise InvalidParameterError(
+                f"drift radius must be >= 0, got {drift_radius}"
+            )
+        if period <= 0:
+            raise InvalidParameterError(
+                f"drift period must be positive, got {period}"
+            )
+        if background_share < 0:
+            raise InvalidParameterError(
+                f"background share must be >= 0, got {background_share}"
+            )
+        if domain <= 0:
+            raise InvalidParameterError(f"domain must be positive, got {domain}")
+        self.hotspots = tuple(hotspots)
+        self.drift_radius = float(drift_radius)
+        self.period = int(period)
+        self.background_share = float(background_share)
+        self.domain = float(domain)
+        self.weight_max = float(weight_max)
+        self.seed = seed
+        self.dt = dt
+
+    def __iter__(self) -> Iterator[SpatialObject]:
+        rng = random.Random(self.seed)
+        domain = self.domain
+        wmax = self.weight_max
+        radius = self.drift_radius * domain
+        omega = 2.0 * math.pi / self.period
+        total = self.background_share + sum(h.share for h in self.hotspots)
+        cumulative: list[tuple[float, int]] = []
+        acc = 0.0
+        for idx, h in enumerate(self.hotspots):
+            acc += h.share / total
+            cumulative.append((acc, idx))
+        cumulative.append((1.0, -1))  # background
+        # phase-shift hotspots evenly around the circle
+        n = len(self.hotspots)
+        phases = [2.0 * math.pi * i / n for i in range(n)]
+        t = 0.0
+        step = 0
+        while True:
+            u = rng.random()
+            chosen = -1
+            for bound, idx in cumulative:
+                if u <= bound:
+                    chosen = idx
+                    break
+            if chosen < 0:
+                x = rng.uniform(0.0, domain)
+                y = rng.uniform(0.0, domain)
+            else:
+                h = self.hotspots[chosen]
+                angle = omega * step + phases[chosen]
+                cx = h.cx * domain + radius * math.cos(angle)
+                cy = h.cy * domain + radius * math.sin(angle)
+                x = rng.gauss(cx, h.sigma * domain)
+                y = rng.gauss(cy, h.sigma * domain)
+                x = min(max(x, 0.0), domain)
+                y = min(max(y, 0.0), domain)
+            weight = rng.uniform(0.0, wmax) if wmax > 0 else 1.0
+            yield SpatialObject(x=x, y=y, weight=weight, timestamp=t)
+            t += self.dt
+            step += 1

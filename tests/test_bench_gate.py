@@ -20,7 +20,14 @@ from pathlib import Path
 import pytest
 
 import repro.bench.bench as bench_mod
-from repro.bench import BENCH_DATASETS, BENCH_MONITORS, BenchProfile, bench_rows, run_bench, scaling_rows
+from repro.bench import (
+    BENCH_DATASETS,
+    BENCH_MONITORS,
+    BenchProfile,
+    bench_rows,
+    run_bench,
+    scaling_rows,
+)
 from repro.cli import main
 from repro.errors import InvalidParameterError
 
@@ -67,12 +74,25 @@ class TestRunBench:
         expected = {
             (m, d) for m in BENCH_MONITORS for d in BENCH_DATASETS
         }
+        expected |= {
+            (m, d)
+            for m in bench_mod.BENCH_SKEW_MONITORS
+            for d in bench_mod.BENCH_SKEW_DATASETS
+        }
         assert seen == expected
         for row in rows:
             assert row["ops_per_s"] > 0
             assert row["mean_ms"] > 0
             assert row["p95_ms"] > 0
             assert row["speedup_vs_naive"] > 0
+
+    def test_rows_name_their_backend(self, tiny_doc):
+        rows = tiny_doc["profiles"]["tiny"]["rows"]
+        backends = {r["monitor"]: r["backend"] for r in rows}
+        assert backends["naive"] == "none"
+        assert backends["ag2"] == "uniform-grid"
+        assert backends["ag2_quadtree"] == "quadtree"
+        assert backends["rtree"] == "rtree"
 
     def test_naive_speedup_is_exactly_one(self, tiny_doc):
         for row in tiny_doc["profiles"]["tiny"]["rows"]:
@@ -89,7 +109,9 @@ class TestRunBench:
 
     def test_flatteners(self, tiny_doc):
         rows = bench_rows(tiny_doc)
-        assert len(rows) == len(BENCH_MONITORS) * len(BENCH_DATASETS)
+        assert len(rows) == len(BENCH_MONITORS) * len(BENCH_DATASETS) + len(
+            bench_mod.BENCH_SKEW_MONITORS
+        ) * len(bench_mod.BENCH_SKEW_DATASETS)
         assert all(row["profile"] == "tiny" for row in rows)
         (mq,) = scaling_rows(tiny_doc)
         assert mq["profile"] == "tiny"
@@ -125,6 +147,33 @@ def _fake_doc(ag2_speedup: float, cpu_count: int = 1) -> dict:
             }
         },
     }
+
+
+def _fake_skew_doc(grid_speedup: float, quad_speedup: float) -> dict:
+    """A document carrying both aG2 backends on a skewed dataset, so
+    the adaptive-index advantage check has something to compare."""
+    doc = _fake_doc(ag2_speedup=3.0)
+    doc["profiles"]["quick"]["rows"] += [
+        {
+            "monitor": "naive",
+            "dataset": "gauss_static",
+            "backend": "none",
+            "speedup_vs_naive": 1.0,
+        },
+        {
+            "monitor": "ag2",
+            "dataset": "gauss_static",
+            "backend": "uniform-grid",
+            "speedup_vs_naive": grid_speedup,
+        },
+        {
+            "monitor": "ag2_quadtree",
+            "dataset": "gauss_static",
+            "backend": "quadtree",
+            "speedup_vs_naive": quad_speedup,
+        },
+    ]
+    return doc
 
 
 class TestBenchGate:
@@ -195,6 +244,50 @@ class TestBenchGate:
         regressed["cpu_count"] = 1
         cur_single = self._write(tmp_path, "cur1.json", regressed)
         assert gate.check_bench(cur_single, base, tolerance=0.15) == []
+
+    def test_regression_message_names_backend(self, gate, tmp_path):
+        base = self._write(
+            tmp_path, "base.json", _fake_skew_doc(2.0, 3.0)
+        )
+        regressed = _fake_skew_doc(2.0, 3.0)
+        for row in regressed["profiles"]["quick"]["rows"]:
+            if row["monitor"] == "ag2_quadtree":
+                row["speedup_vs_naive"] = 1.0
+        cur = self._write(tmp_path, "cur.json", regressed)
+        failures = gate.check_bench(cur, base, tolerance=0.15)
+        assert any(
+            "ag2_quadtree [quadtree backend]" in f for f in failures
+        )
+
+    def test_advantage_regression_fails(self, gate, tmp_path):
+        """A regression the per-row floors cannot see: every row holds
+        or improves, but the quadtree's edge over the grid collapses.
+        Baseline advantage 3.0/2.0 = 1.50x, floor 1.50 * (1 - 2*0.15)
+        = 1.05x; current 3.0/2.9 = 1.03x must fail."""
+        base = self._write(
+            tmp_path, "base.json", _fake_skew_doc(2.0, 3.0)
+        )
+        cur = self._write(tmp_path, "cur.json", _fake_skew_doc(2.9, 3.0))
+        failures = gate.check_bench(cur, base, tolerance=0.15)
+        assert any(
+            "adaptive-index advantage regression" in f
+            and "gauss_static" in f
+            for f in failures
+        )
+
+    def test_advantage_within_tolerance_passes(self, gate, tmp_path):
+        base = self._write(
+            tmp_path, "base.json", _fake_skew_doc(2.0, 3.0)
+        )
+        cur = self._write(tmp_path, "cur.json", _fake_skew_doc(2.2, 3.0))
+        assert gate.check_bench(cur, base, tolerance=0.15) == []
+
+    def test_advantage_skipped_without_quadtree_rows(self, gate, tmp_path):
+        """Legacy documents without ag2_quadtree rows must not trip the
+        advantage check (they already pass the per-row gates)."""
+        base = self._write(tmp_path, "base.json", _fake_doc(ag2_speedup=3.0))
+        cur = self._write(tmp_path, "cur.json", _fake_doc(ag2_speedup=3.0))
+        assert gate.check_bench(cur, base, tolerance=0.15) == []
 
     def test_disjoint_documents_fail_loudly(self, gate, tmp_path):
         base = self._write(tmp_path, "base.json", _fake_doc(ag2_speedup=3.0))

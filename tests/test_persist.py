@@ -11,6 +11,7 @@ from repro.core.ag2 import AG2Monitor
 from repro.core.g2 import G2Monitor
 from repro.core.monitor import MaxRSMonitor
 from repro.core.naive import NaiveMonitor
+from repro.core.quadtree import QuadtreeAG2Monitor
 from repro.core.topk import TopKAG2Monitor
 from repro.errors import InvalidParameterError
 from repro.persist import load_json, restore, save_json, snapshot
@@ -29,6 +30,7 @@ class TestSnapshotRestore:
             lambda: NaiveMonitor(10, 10, CountWindow(30)),
             lambda: G2Monitor(10, 10, CountWindow(30)),
             lambda: AG2Monitor(10, 10, CountWindow(30), epsilon=0.2),
+            lambda: QuadtreeAG2Monitor(10, 10, CountWindow(30)),
             lambda: TopKAG2Monitor(10, 10, CountWindow(30), k=4),
         ],
     )
@@ -55,6 +57,29 @@ class TestSnapshotRestore:
         assert clone.epsilon == 0.3
         assert clone.grid.cell_size == 42.0
         assert clone.window.capacity == 15  # type: ignore[attr-defined]
+
+    def test_quadtree_policy_preserved(self):
+        monitor = QuadtreeAG2Monitor(
+            6,
+            6,
+            CountWindow(12),
+            tile_size=96.0,
+            min_leaf_size=6.0,
+            split_occupancy=11,
+            merge_occupancy=3,
+            split_load=50.0,
+            merge_load=1.5,
+            load_decay=0.25,
+        )
+        clone = restore(snapshot(monitor))
+        assert isinstance(clone, QuadtreeAG2Monitor)
+        assert clone.tree.tile_size == 96.0
+        assert clone.tree.min_leaf_size == 6.0
+        assert clone.split_occupancy == 11
+        assert clone.merge_occupancy == 3
+        assert clone.split_load == 50.0
+        assert clone.merge_load == 1.5
+        assert clone.load_decay == 0.25
 
     def test_topk_k_preserved(self):
         clone = restore(snapshot(TopKAG2Monitor(5, 5, CountWindow(9), k=7)))

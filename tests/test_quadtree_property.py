@@ -1,0 +1,233 @@
+"""Property-based differentials for the skew-adaptive quadtree.
+
+Four properties pin the adaptive index to its uniform-grid ancestor:
+
+1. an unsplit forest's covers are *identical* to a uniform grid of the
+   tile geometry (the quadtree is a strict generalisation);
+2. under arbitrary split/merge structures, ``cell_keys`` — fast path
+   and cached descent alike — equals a brute-force scan of the current
+   leaves (the mapping never depends on how the structure was reached);
+3. the quadtree aG2 monitor returns the same best weight as the naive
+   oracle *and* the uniform-grid aG2 at every batch of an arbitrary
+   arrival/expiry interleaving, while splits and merges fire;
+4. leaf occupancy stays bounded above the size floor no matter how
+   concentrated a seeded hotspot stream is.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ag2 import AG2Monitor
+from repro.core.geometry import Rect
+from repro.core.grid import UniformGrid
+from repro.core.naive import NaiveMonitor
+from repro.core.objects import SpatialObject
+from repro.core.quadtree import QuadtreeAG2Monitor, QuadtreeIndex
+from repro.window import CountWindow
+
+coord = st.floats(
+    min_value=-40.0, max_value=40.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(coord)
+    y1 = draw(coord)
+    x2 = x1 + draw(st.floats(min_value=0.0, max_value=30.0))
+    y2 = y1 + draw(st.floats(min_value=0.0, max_value=30.0))
+    return Rect(x1, y1, x2, y2)
+
+
+@st.composite
+def split_trees(draw):
+    """A QuadtreeIndex with an arbitrary split structure (and some
+    merges, so tile versions move) over the tiles near the origin."""
+    tree = QuadtreeIndex(16.0, 2.0)
+    candidates = [(0, i, j) for i in range(-3, 3) for j in range(-3, 3)]
+    for _ in range(draw(st.integers(min_value=0, max_value=25))):
+        index = draw(st.integers(min_value=0, max_value=len(candidates) - 1))
+        key = candidates[index]
+        if tree.is_split(key) or not tree.can_split(key):
+            continue
+        tree.split(key)
+        candidates.extend(tree.children(key))
+    mergeable = [
+        key
+        for key in list(tree._split)
+        if not any(tree.is_split(c) for c in tree.children(key))
+    ]
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        if not mergeable:
+            break
+        index = draw(st.integers(min_value=0, max_value=len(mergeable) - 1))
+        key = mergeable.pop(index)
+        if tree.is_split(key) and not any(
+            tree.is_split(c) for c in tree.children(key)
+        ):
+            tree.merge(key)
+    return tree
+
+
+def _brute_cover(tree: QuadtreeIndex, rect: Rect):
+    if rect.x1 == rect.x2 or rect.y1 == rect.y2:
+        return []  # degenerate rectangles overlap nothing
+    out = []
+    for i in range(-6, 6):
+        for j in range(-6, 6):
+            for leaf in tree.leaves_under((0, i, j)):
+                x1, y1, x2, y2 = tree.cell_bounds(leaf)
+                if (
+                    rect.x1 < x2
+                    and x1 < rect.x2
+                    and rect.y1 < y2
+                    and y1 < rect.y2
+                ):
+                    out.append(leaf)
+    return sorted(out)
+
+
+@settings(max_examples=80, deadline=None)
+@given(rect=rects(), tile=st.sampled_from([5.0, 16.0, 24.0]))
+def test_unsplit_tree_cover_equals_uniform_grid(rect, tile):
+    tree = QuadtreeIndex(tile, tile)
+    grid = UniformGrid(cell_size=tile)
+    assert tree.cell_keys(rect) == tuple(
+        (0, i, j) for i, j in grid.cell_keys(rect)
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree=split_trees(), rect=rects())
+def test_cover_matches_brute_force_under_random_splits(tree, rect):
+    cover = tree.cell_keys(rect)
+    assert len(set(cover)) == len(cover)
+    assert sorted(cover) == _brute_cover(tree, rect)
+    # ask again: the cached answer must be the same object set
+    assert sorted(tree.cell_keys(rect)) == sorted(cover)
+
+
+obj_coord = st.integers(min_value=0, max_value=50).map(float)
+weight = st.sampled_from([0.0, 0.5, 1.0, 2.0, 5.0])
+objects = st.lists(
+    st.builds(SpatialObject, x=obj_coord, y=obj_coord, weight=weight),
+    min_size=0,
+    max_size=60,
+)
+batch_splits = st.lists(
+    st.integers(min_value=1, max_value=8), min_size=1, max_size=12
+)
+
+
+def _batches(objs, splits):
+    pos = 0
+    for size in splits:
+        if pos >= len(objs):
+            return
+        yield objs[pos : pos + size]
+        pos += size
+    if pos < len(objs):
+        yield objs[pos:]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    objs=objects,
+    splits=batch_splits,
+    capacity=st.integers(min_value=1, max_value=30),
+    side=st.sampled_from([4.0, 10.0]),
+    split_occupancy=st.sampled_from([4, 12]),
+)
+def test_quadtree_equals_naive_and_grid_every_batch(
+    objs, splits, capacity, side, split_occupancy
+):
+    """The differential the tentpole stands on: integer coordinates make
+    collisions and shared edges common, the low split occupancy makes
+    restructuring fire constantly, and the answers must never move."""
+    quad = QuadtreeAG2Monitor(
+        side,
+        side,
+        CountWindow(capacity),
+        split_occupancy=split_occupancy,
+        merge_occupancy=2,
+        merge_load=4.0,
+    )
+    grid = AG2Monitor(side, side, CountWindow(capacity))
+    naive = NaiveMonitor(side, side, CountWindow(capacity))
+    for batch in _batches(objs, splits):
+        a = quad.update(batch)
+        b = grid.update(batch)
+        c = naive.update(batch)
+        assert a.best_weight == pytest.approx(b.best_weight)
+        assert a.best_weight == pytest.approx(c.best_weight)
+        assert a.is_empty == c.is_empty
+        quad.check_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    spread=st.sampled_from([2.0, 8.0]),
+)
+def test_split_merge_round_trip_restores_answers(seed, spread):
+    """A hotspot forces splits, drifts away until the region expires and
+    merges back, then returns: answers must match the naive oracle at
+    every step of the round trip."""
+    rng = random.Random(seed)
+    quad = QuadtreeAG2Monitor(
+        5.0,
+        5.0,
+        CountWindow(40),
+        split_occupancy=6,
+        merge_occupancy=2,
+    )
+    naive = NaiveMonitor(5.0, 5.0, CountWindow(40))
+    centers = [(30.0, 30.0)] * 3 + [(3000.0, 3000.0)] * 5 + [(30.0, 30.0)] * 3
+    for cx, cy in centers:
+        batch = [
+            SpatialObject(
+                x=cx + rng.uniform(-spread, spread),
+                y=cy + rng.uniform(-spread, spread),
+                weight=rng.choice([0.5, 1.0, 2.0]),
+            )
+            for _ in range(10)
+        ]
+        a = quad.update(batch)
+        b = naive.update(batch)
+        assert a.best_weight == pytest.approx(b.best_weight)
+        quad.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    sigma=st.sampled_from([1.0, 5.0, 25.0]),
+)
+def test_leaf_occupancy_bounded_under_hotspot_stream(seed, sigma):
+    """The "bounded under skew" guarantee: above the size floor no leaf
+    exceeds split_occupancy, however concentrated the arrivals."""
+    rng = random.Random(seed)
+    monitor = QuadtreeAG2Monitor(
+        4.0, 4.0, CountWindow(150), split_occupancy=12, merge_occupancy=4
+    )
+    for _ in range(8):
+        batch = [
+            SpatialObject(
+                x=rng.gauss(100.0, sigma),
+                y=rng.gauss(100.0, sigma),
+                weight=1.0,
+            )
+            for _ in range(25)
+        ]
+        monitor.update(batch)
+    tree = monitor.tree
+    for key, cell in monitor._cells.items():
+        if tree.can_split(key):
+            occupancy = len(cell.graph) + len(cell.pending)
+            assert occupancy <= monitor.split_occupancy
+    monitor.check_invariants()
