@@ -11,6 +11,7 @@ Subcommands mirror the paper's evaluation artefacts::
     maxrs-stream bench --seed 42 --out BENCH_PR6.json
     maxrs-stream chaos --batches 200 --policy quarantine
     maxrs-stream overload --pattern square --burst-factor 10
+    maxrs-stream soak --scenario crash_recovery
 
 Every subcommand prints a plain-text table; ``--dataset`` accepts the
 four built-in workload names (see ``repro.datasets``).
@@ -293,6 +294,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write the overload report as JSON"
     )
 
+    p_soak = sub.add_parser(
+        "soak",
+        help="end-to-end soak: drive the fully composed stack (ingest "
+        "guard, backpressure queue, degradation ladder, checkpoints, "
+        "optional worker shards) through a phased fault campaign with "
+        "crash-restart recovery; exits non-zero on any cross-layer "
+        "invariant breach",
+    )
+    p_soak.add_argument(
+        "--scenario", default="smoke",
+        help="committed scenario to run (default: %(default)s); "
+        "see --list",
+    )
+    p_soak.add_argument(
+        "--list", action="store_true",
+        help="list the committed scenarios and exit",
+    )
+    p_soak.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's seed",
+    )
+    p_soak.add_argument(
+        "--checkpoint-dir", metavar="PATH", default=None,
+        help="directory for checkpoint files (default: a temporary "
+        "directory, removed afterwards)",
+    )
+    p_soak.add_argument(
+        "--no-verify-checksum", action="store_true",
+        help="disable CRC32 checkpoint verification during recovery "
+        "(silent corruption then restores bad state, which the "
+        "re-convergence invariant catches)",
+    )
+    p_soak.add_argument(
+        "--json", metavar="PATH", help="write the soak report as JSON"
+    )
+
     p_bench = sub.add_parser(
         "bench",
         help="fixed-seed benchmark suite: every monitor x uniform/gaussian, "
@@ -495,6 +532,45 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(
             "OK: p95 within budget, ledger closed, guarantees verified, "
             "ladder recovered to exact"
+        )
+    elif args.command == "soak":
+        from repro.soak import get_scenario, list_scenarios, run_soak
+
+        if args.list:
+            rows = [
+                {
+                    "scenario": scn.name,
+                    "phases": len(scn.phases),
+                    "ticks": scn.total_ticks,
+                    "workers": scn.workers,
+                    "description": scn.description,
+                }
+                for scn in list_scenarios()
+            ]
+            print(format_rows(rows, title="committed soak scenarios"))
+            return 0
+        scenario = get_scenario(args.scenario)
+        soak_report = run_soak(
+            scenario,
+            seed=args.seed,
+            verify_checksum=not args.no_verify_checksum,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        title = (
+            f"soak [{scenario.name}] seed={soak_report.seed} "
+            f"phases={len(scenario.phases)} ticks={soak_report.ticks}"
+        )
+        print(format_rows(soak_report.rows(), title=title))
+        if args.json:
+            write_metrics_json(args.json, soak_report.to_dict())
+            print(f"wrote soak report JSON to {args.json}")
+        if not soak_report.ok:
+            for line in soak_report.failures():
+                print(f"FAIL: {line}")
+            return 1
+        print(
+            "OK: campaign survived; conservation closed, watermarks "
+            "monotone, guarantees held, recoveries re-converged exactly"
         )
     elif args.command == "bench":
         from repro.bench.bench import bench_rows, run_bench, scaling_rows

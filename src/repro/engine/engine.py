@@ -26,7 +26,11 @@ from repro.core.monitor import MaxRSMonitor
 from repro.core.objects import SpatialObject
 from repro.core.spaces import MaxRSResult
 from repro.engine.stats import TimingStats
-from repro.errors import InvalidParameterError, StreamExhaustedWarning
+from repro.errors import (
+    InvalidParameterError,
+    ReproError,
+    StreamExhaustedWarning,
+)
 from repro.obs.metrics import Metrics, MetricsSnapshot
 from repro.streams.source import StreamSource
 
@@ -189,6 +193,8 @@ class StreamEngine:
         self.checkpoint = checkpoint
         self.backpressure = backpressure
         self._scopes: Dict[str, Metrics] = {}
+        self._session: "_RunState | None" = None
+        self._torn_down = False
         if metrics is not None:
             for name, monitor in self.monitors.items():
                 scope = metrics.scope(name)
@@ -368,6 +374,76 @@ class StreamEngine:
             source_exhausted=exhausted,
             overload=overload,
         )
+
+    # -- externally driven sessions (soak harness) ---------------------------
+
+    def process(
+        self, batch: Sequence[SpatialObject]
+    ) -> Dict[str, MaxRSResult]:
+        """Apply one externally assembled batch to every monitor.
+
+        Unlike :meth:`run` / :meth:`run_offered`, the caller owns the
+        upstream (guard, queue, fault injectors) and hands the engine
+        fully formed batches one at a time.  Batches accumulate into a
+        persistent session — timings, metric deltas and checkpoint
+        positions line up exactly as in a pull-mode run — which
+        :meth:`collect_report` closes out.
+        """
+        if self._torn_down:
+            raise ReproError(
+                "engine has been torn down; restore() monitors before "
+                "processing further batches"
+            )
+        if not batch:
+            raise InvalidParameterError("process() needs a non-empty batch")
+        if self._session is None:
+            self._session = _RunState(self, track_weights=False)
+        self._session.apply(list(batch))
+        return dict(self._session.final)
+
+    def collect_report(self) -> EngineReport:
+        """Close the current :meth:`process` session and report on it."""
+        session = self._session
+        if session is None:
+            raise ReproError("no process() session to report on")
+        self._session = None
+        return session.report(
+            batches=len(session.batch_sizes),
+            requested_batches=len(session.batch_sizes),
+            source_exhausted=False,
+        )
+
+    def teardown(self) -> None:
+        """Simulate a compute-tier crash: drop monitors and session.
+
+        Everything downstream of the ingest boundary dies — the
+        monitors (and their in-memory indexes) are discarded and the
+        open session is abandoned.  The attached checkpoint manager
+        and any upstream state (guard, queue) survive, exactly as a
+        separate ingest process would across a worker crash.  The
+        engine refuses further :meth:`process` calls until
+        :meth:`restore` rebinds monitors.
+        """
+        self._session = None
+        self.monitors = {}
+        self._torn_down = True
+
+    def restore(self, monitors: Dict[str, MaxRSMonitor]) -> None:
+        """Rebind recovered monitors after :meth:`teardown`.
+
+        Metrics scopes are re-attached under the same names, so
+        counters accumulate across the crash — the observable record
+        of the run includes both incarnations.
+        """
+        if not monitors:
+            raise InvalidParameterError("at least one monitor is required")
+        self.monitors = dict(monitors)
+        if self.metrics is not None:
+            for name, monitor in self.monitors.items():
+                scope = self.metrics.scope(name)
+                monitor.attach_metrics(scope)
+                self._scopes[name] = scope
+        self._torn_down = False
 
 
 class _RunState:

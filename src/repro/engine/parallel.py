@@ -36,14 +36,15 @@ time-share and the pickling round-trips make this *slower* than
 from __future__ import annotations
 
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.core.monitor import MaxRSMonitor
 from repro.core.objects import SpatialObject
 from repro.core.spaces import MaxRSResult
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, UnrecoverableMonitorError
 from repro.resilience.guard import IngestGuard
 
 __all__ = ["ParallelQueryGroup"]
@@ -101,7 +102,15 @@ def _w_kill() -> None:  # pragma: no cover - exits the worker process
 class _Shard:
     """One worker process plus the state needed to rebuild it."""
 
-    __slots__ = ("executor", "names", "snapshot", "replay")
+    __slots__ = (
+        "executor",
+        "names",
+        "snapshot",
+        "replay",
+        "respawns",
+        "consecutive",
+        "gave_up",
+    )
 
     def __init__(self) -> None:
         self.executor = ProcessPoolExecutor(max_workers=1)
@@ -110,6 +119,9 @@ class _Shard:
         # batches pushed since — together they reconstruct the shard
         self.snapshot: bytes = pickle.dumps({})
         self.replay: List[Sequence[SpatialObject]] = []
+        self.respawns = 0  # lifetime worker respawns
+        self.consecutive = 0  # respawns since the last successful call
+        self.gave_up = False  # respawn budget exhausted, shard is dead
 
 
 class ParallelQueryGroup:
@@ -131,6 +143,18 @@ class ParallelQueryGroup:
             bounds both the replay log kept per shard and the work
             re-done when a worker is recovered.
         guard: Optional ingest guard for :meth:`update_guarded`.
+        max_respawns: Consecutive worker respawns a shard may burn
+            before the group declares it dead — a worker that dies
+            again during every recovery (poisoned state, OOM loop)
+            must not respawn forever.  The shard's next operation
+            raises :class:`~repro.errors.UnrecoverableMonitorError`
+            and ``gave_up`` is surfaced in :meth:`stats`.  A
+            successful call resets the consecutive count.
+        backoff_base / backoff: Sleep ``backoff_base * backoff**(n-1)``
+            seconds before the ``n``-th consecutive respawn (the first
+            is immediate) — repeated deaths should not hot-loop the
+            fork+restore+replay cycle.
+        sleep: Injectable sleep for tests (defaults to ``time.sleep``).
     """
 
     def __init__(
@@ -138,6 +162,11 @@ class ParallelQueryGroup:
         workers: int = 2,
         snapshot_every: int = 16,
         guard: IngestGuard | None = None,
+        *,
+        max_respawns: int = 5,
+        backoff_base: float = 0.05,
+        backoff: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if workers < 0:
             raise InvalidParameterError(
@@ -147,9 +176,22 @@ class ParallelQueryGroup:
             raise InvalidParameterError(
                 f"snapshot_every must be positive, got {snapshot_every}"
             )
+        if max_respawns <= 0:
+            raise InvalidParameterError(
+                f"max_respawns must be positive, got {max_respawns}"
+            )
+        if backoff_base < 0 or backoff < 1.0:
+            raise InvalidParameterError(
+                "need backoff_base >= 0 and backoff >= 1, got "
+                f"base={backoff_base}, factor={backoff}"
+            )
         self.workers = workers
         self.snapshot_every = snapshot_every
         self.guard = guard
+        self.max_respawns = int(max_respawns)
+        self.backoff_base = float(backoff_base)
+        self.backoff = float(backoff)
+        self._sleep = sleep
         self._order: List[str] = []
         self._shard_of: Dict[str, int] = {}
         self._shards: Dict[int, _Shard] = {}  # materialised lazily
@@ -179,16 +221,44 @@ class ParallelQueryGroup:
         return shard
 
     def _call(self, shard: _Shard, fn, *args):
-        """Run one entry point on a shard, recovering a dead worker."""
-        try:
-            return shard.executor.submit(fn, *args).result()
-        except BrokenProcessPool:
-            self._recover(shard)
-            return shard.executor.submit(fn, *args).result()
+        """Run one entry point on a shard, recovering a dead worker.
+
+        Repeated deaths keep respawning (with backoff) until the
+        shard's consecutive-respawn budget runs out, at which point
+        :class:`UnrecoverableMonitorError` is raised instead of
+        looping forever.
+        """
+        while True:
+            try:
+                result = shard.executor.submit(fn, *args).result()
+            except BrokenProcessPool:
+                self._recover(shard)
+                continue
+            shard.consecutive = 0
+            return result
 
     def _recover(self, shard: _Shard) -> None:
         """Respawn a shard's worker and rebuild its monitors from the
-        last snapshot plus the replayed batches since."""
+        last snapshot plus the replayed batches since.
+
+        A death *during* recovery (restore/replay) propagates as
+        ``BrokenProcessPool`` back to the calling retry loop, which
+        re-enters here — each pass burns one unit of the consecutive
+        budget and backs off exponentially.
+        """
+        if shard.gave_up or shard.consecutive >= self.max_respawns:
+            shard.gave_up = True
+            raise UnrecoverableMonitorError(
+                f"shard worker for {shard.names} died "
+                f"{shard.consecutive} consecutive times "
+                f"(max_respawns={self.max_respawns}); giving up"
+            )
+        if shard.consecutive > 0:
+            self._sleep(
+                self.backoff_base * self.backoff ** (shard.consecutive - 1)
+            )
+        shard.consecutive += 1
+        shard.respawns += 1
         self.recoveries += 1
         shard.executor.shutdown(wait=False, cancel_futures=True)
         shard.executor = ProcessPoolExecutor(max_workers=1)
@@ -302,9 +372,10 @@ class ParallelQueryGroup:
                 if future is None:
                     raise BrokenProcessPool("worker died before submit")
                 part = future.result()
+                shard.consecutive = 0
             except BrokenProcessPool:
                 self._recover(shard)
-                part = shard.executor.submit(_w_update, batch).result()
+                part = self._call(shard, _w_update, batch)
             merged.update(part)
         for shard in live:
             shard.replay.append(batch)
@@ -332,6 +403,27 @@ class ParallelQueryGroup:
             if shard.names:
                 merged.update(self._call(shard, _w_results))
         return {name: merged[name] for name in self._order}
+
+    def stats(self) -> Dict[str, object]:
+        """Plain-data health report: lifetime recoveries plus per-shard
+        respawn counts, consecutive-failure streaks and give-ups."""
+        shards = [
+            {
+                "index": index,
+                "queries": list(shard.names),
+                "respawns": shard.respawns,
+                "consecutive_failures": shard.consecutive,
+                "gave_up": shard.gave_up,
+            }
+            for index, shard in sorted(self._shards.items())
+        ]
+        return {
+            "workers": self.workers,
+            "recoveries": self.recoveries,
+            "respawn_count": sum(s.respawns for s in self._shards.values()),
+            "gave_up": any(s.gave_up for s in self._shards.values()),
+            "shards": shards,
+        }
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -48,6 +48,18 @@ class SnapshotError(ReproError):
     """
 
 
+class CheckpointChecksumError(SnapshotError):
+    """A checkpoint's stored CRC32 does not match its payload.
+
+    Truncation and invalid JSON are caught by :class:`SnapshotError`
+    already; this subclass covers *silent* corruption — bit-rot or a
+    partial overwrite that still parses — detected by recomputing the
+    payload checksum stored in the envelope.  Recovery code treats it
+    like any other :class:`SnapshotError` and falls back to the
+    previous rotation.
+    """
+
+
 class QuarantineError(ReproError):
     """A record was rejected at the ingest boundary under ``RAISE`` policy.
 

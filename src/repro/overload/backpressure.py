@@ -97,6 +97,7 @@ class BackpressureQueue:
         self.shed_oldest = 0
         self.shed_newest = 0
         self.refused = 0
+        self.spilled = 0  # pending objects lost to a crash (spill())
         self.high_water = 0  # deepest the queue ever got
 
     # -- state ---------------------------------------------------------------
@@ -120,6 +121,7 @@ class BackpressureQueue:
             "shed_oldest": self.shed_oldest,
             "shed_newest": self.shed_newest,
             "refused": self.refused,
+            "spilled": self.spilled,
             "pending": self.pending,
             "high_water": self.high_water,
         }
@@ -128,7 +130,11 @@ class BackpressureQueue:
     def ledger_closed(self) -> bool:
         """True iff no object is unaccounted for."""
         return self.offered == (
-            self.processed + self.shed + self.refused + self.pending
+            self.processed
+            + self.shed
+            + self.refused
+            + self.spilled
+            + self.pending
         )
 
     # -- producer side -------------------------------------------------------
@@ -197,6 +203,23 @@ class BackpressureQueue:
             self.metrics.inc("processed_objects", len(batch))
         self.metrics.set_gauge("queue_depth", len(items))
         return batch
+
+    def spill(self) -> int:
+        """Drop everything pending, keeping the ledger closed.
+
+        Models a crash of the consumer tier taking its in-flight buffer
+        with it: the lost objects move from ``pending`` to ``spilled``
+        — an explicit ledger bucket, not a silent leak — and the count
+        is returned.  The queue itself (counters, capacity, policy)
+        keeps serving.
+        """
+        lost = len(self._items)
+        if lost:
+            self._items.clear()
+            self.spilled += lost
+            self.metrics.inc("spilled_objects", lost)
+            self.metrics.set_gauge("queue_depth", 0)
+        return lost
 
     def drain(self, batch_size: int) -> Iterable[Sequence[SpatialObject]]:
         """Yield coalesced batches until the queue is empty."""

@@ -46,6 +46,7 @@ from typing import Callable, Dict, List, Sequence
 
 from repro.core.ag2 import AG2Monitor
 from repro.core.monitor import MaxRSMonitor
+from repro.core.naive import NaiveMonitor
 from repro.core.objects import SpatialObject
 from repro.core.sampling import SamplingMonitor
 from repro.core.spaces import MaxRSResult
@@ -225,6 +226,12 @@ class AdaptiveMonitor:
         probe_every / max_heals: When ``probe_every > 0`` the aG2 rungs
             run supervised (:class:`MonitorSupervisor`) with periodic
             invariant probes, and every heal feeds the breaker.
+        latency_model: Optional ``(rung, batch_size) -> ms`` callable.
+            When given, the controller is steered by *modeled* latency
+            samples instead of wall-clock measurements — the soak
+            harness uses this to make ladder trajectories (and hence
+            whole soak reports) bit-identical across runs and hosts.
+            Production serving leaves it ``None``.
     """
 
     SAMPLING = "sampling"
@@ -245,6 +252,7 @@ class AdaptiveMonitor:
         breaker: CircuitBreaker | None = None,
         probe_every: int = 0,
         max_heals: int | None = None,
+        latency_model: Callable[[int, int], float] | None = None,
     ) -> None:
         schedule = tuple(float(e) for e in epsilon_schedule)
         if not schedule:
@@ -269,6 +277,7 @@ class AdaptiveMonitor:
         self.breaker = breaker or CircuitBreaker()
         self.probe_every = int(probe_every)
         self.max_heals = max_heals
+        self.latency_model = latency_model
         self._cell_size = cell_size
         # rung 0 = exact, rungs 1..k = approx(εᵢ), rung k+1 = sampling
         self.mode_names: tuple[str, ...] = (
@@ -383,6 +392,19 @@ class AdaptiveMonitor:
         self.breaker.metrics = self.metrics
         self.metrics.set_gauge("ladder_rung", self._rung)
 
+    def checkpoint_target(self) -> MaxRSMonitor:
+        """The ladder's persistable view, for :mod:`repro.persist`.
+
+        The ladder itself is not a snapshot kind, but its state *is*
+        its authoritative window (the index is derived); a NaiveMonitor
+        over that same window captures exactly the configuration +
+        window contents a checkpoint needs, and restores cheaply
+        (naive ingest is a window push, no sweep).
+        """
+        return NaiveMonitor(
+            self.rect_width, self.rect_height, self._sampler.window
+        )
+
     def check_invariants(self) -> None:
         if self._rung != self.sampling_rung and not self._ag2_stale:
             probe = getattr(self._ag2, "check_invariants", None)
@@ -433,13 +455,17 @@ class AdaptiveMonitor:
             # recovery cost, not steady-state cost, and timing it would
             # hand the controller a spurious panic sample
             self._rebuild_ag2(self._rung_epsilon(self._rung))
+        serving_rung = self._rung
         start = time.perf_counter()
         if self._rung == self.sampling_rung:
             result = self._sampler.update(objects)
         else:
             result = self._ag2.update(objects)
             self._sampler.ingest(objects)
-        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        if self.latency_model is not None:
+            elapsed_ms = float(self.latency_model(serving_rung, len(objects)))
+        else:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
         self._stale_for = 0
         self._last = result
         self.residency[self.mode] += 1

@@ -44,6 +44,7 @@ from repro.obs.metrics import Metrics
 from repro.overload.backpressure import BackpressureQueue, ShedPolicy
 from repro.overload.breaker import CircuitBreaker
 from repro.overload.controller import AdaptiveMonitor, DeadlineController
+from repro.soak.report import ReportBase
 from repro.window import CountWindow
 
 __all__ = ["LoadGenerator", "OverloadReport", "run_overload"]
@@ -149,7 +150,7 @@ class LoadGenerator:
 
 
 @dataclass
-class OverloadReport:
+class OverloadReport(ReportBase):
     """Everything an overload soak observed, plus the four verdicts."""
 
     engine_report: EngineReport
@@ -201,9 +202,29 @@ class OverloadReport:
             and self.guarantees_verified
         )
 
-    def rows(self) -> list[dict[str, object]]:
-        """(quantity, value) rows for the CLI table."""
-        pairs = [
+    def failures(self) -> list[str]:
+        lines = []
+        if not self.within_budget:
+            lines.append(
+                f"p95 update latency {self.p95_ms:.3f} ms exceeded the "
+                f"{self.budget_ms:.3f} ms budget"
+            )
+        if not self.ledger_closed:
+            lines.append(f"conservation ledger did not close: {self.ledger}")
+        if not self.recovered:
+            lines.append(
+                f"ladder finished at {self.final_mode!r}, never recovered "
+                "to exact"
+            )
+        if not self.guarantees_verified:
+            lines.append(
+                f"{self.guarantee_failures} of {self.guarantee_checks} "
+                "guarantee checks failed (or none ran)"
+            )
+        return lines
+
+    def _pairs(self) -> list[tuple[str, object]]:
+        return [
             ("coalesced batches", self.engine_report.batches),
             ("arrival ticks", self.engine_report.requested_batches),
             ("budget ms", f"{self.budget_ms:.3f}"),
@@ -229,19 +250,15 @@ class OverloadReport:
             ("recovered to exact", self.recovered),
             ("guarantees verified", self.guarantees_verified),
         ]
-        return [{"quantity": k, "value": v} for k, v in pairs]
 
-    def to_dict(self) -> dict[str, Any]:
-        doc = {
-            row["quantity"].replace(" ", "_"): row["value"]
-            for row in self.rows()
+    def _extra(self) -> dict[str, Any]:
+        return {
+            "ledger": dict(self.ledger),
+            "residency": dict(self.residency),
+            "transitions": [dict(t) for t in self.transitions],
+            "guarantee_details": [dict(d) for d in self.guarantee_details],
+            "engine": self.engine_report.to_dict(),
         }
-        doc["ledger"] = dict(self.ledger)
-        doc["residency"] = dict(self.residency)
-        doc["transitions"] = [dict(t) for t in self.transitions]
-        doc["guarantee_details"] = [dict(d) for d in self.guarantee_details]
-        doc["engine"] = self.engine_report.to_dict()
-        return doc
 
 
 def exact_weight_over(

@@ -19,12 +19,18 @@ fault) still leaves an older recovery point behind.
 
 from __future__ import annotations
 
+import json
+import zlib
 from pathlib import Path
 from typing import Any
 
 from repro import persist
 from repro.core.monitor import MaxRSMonitor
-from repro.errors import InvalidParameterError, SnapshotError
+from repro.errors import (
+    CheckpointChecksumError,
+    InvalidParameterError,
+    SnapshotError,
+)
 from repro.obs.metrics import NULL_METRICS, Metrics
 
 __all__ = ["CheckpointManager"]
@@ -33,9 +39,34 @@ _CHECKPOINT_FORMAT = 1
 
 
 def _snapshot_target(monitor: Any) -> MaxRSMonitor:
-    """Unwrap a MonitorSupervisor (or anything exposing ``.monitor``)."""
+    """Unwrap to the snapshotable monitor.
+
+    A monitor exposing ``checkpoint_target()`` (the degradation ladder)
+    nominates its own persistable view; otherwise a MonitorSupervisor
+    (or anything exposing ``.monitor``) is unwrapped.
+    """
+    nominate = getattr(monitor, "checkpoint_target", None)
+    if callable(nominate):
+        target = nominate()
+        if isinstance(target, MaxRSMonitor):
+            return target
     inner = getattr(monitor, "monitor", None)
     return inner if isinstance(inner, MaxRSMonitor) else monitor
+
+
+def _payload_crc(batch_index: int, state: Any) -> int:
+    """CRC32 over the canonical JSON form of the checkpoint payload.
+
+    Canonical = sorted keys, no whitespace — the same bytes regardless
+    of envelope key order, so the stored checksum survives a parse +
+    re-serialise round trip (floats repr-round-trip exactly in JSON).
+    """
+    blob = json.dumps(
+        {"batch_index": batch_index, "state": state},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode()
+    return zlib.crc32(blob) & 0xFFFFFFFF
 
 
 class CheckpointManager:
@@ -93,10 +124,12 @@ class CheckpointManager:
 
     def checkpoint(self) -> Path:
         """Write the current state atomically, rotating history."""
+        state = persist.snapshot(_snapshot_target(self._monitor))
         document = {
             "format": _CHECKPOINT_FORMAT,
             "batch_index": self.batch_index,
-            "state": persist.snapshot(_snapshot_target(self._monitor)),
+            "state": state,
+            "crc32": _payload_crc(self.batch_index, state),
         }
         self._rotate()
         persist.atomic_write_json(self.path, document)
@@ -121,13 +154,19 @@ class CheckpointManager:
     # -- recovery ----------------------------------------------------------
 
     @staticmethod
-    def load(path: str | Path) -> tuple[MaxRSMonitor, int]:
+    def load(
+        path: str | Path, *, verify_checksum: bool = True
+    ) -> tuple[MaxRSMonitor, int]:
         """Rebuild ``(monitor, batch_index)`` from one checkpoint file.
 
         Truncated files, non-JSON content, unknown format versions and
         missing fields all raise a :class:`~repro.errors.ReproError`
         subclass (:class:`SnapshotError` / ``InvalidParameterError``),
-        never a bare ``KeyError``/``JSONDecodeError``.
+        never a bare ``KeyError``/``JSONDecodeError``.  When the
+        envelope carries a ``crc32`` and ``verify_checksum`` is on,
+        silent payload corruption raises
+        :class:`~repro.errors.CheckpointChecksumError`; checksum-less
+        checkpoints from older versions still load.
         """
         document = persist.read_json(path)
         if not isinstance(document, dict):
@@ -139,18 +178,35 @@ class CheckpointManager:
             )
         if "state" not in document or "batch_index" not in document:
             raise SnapshotError(f"checkpoint {path} is missing fields")
+        batch_index = int(document["batch_index"])
+        stored_crc = document.get("crc32")
+        if verify_checksum and stored_crc is not None:
+            actual = _payload_crc(batch_index, document["state"])
+            if actual != int(stored_crc):
+                raise CheckpointChecksumError(
+                    f"checkpoint {path} failed its checksum: stored "
+                    f"crc32 {stored_crc}, payload hashes to {actual}"
+                )
         monitor = persist.restore(document["state"])
-        return monitor, int(document["batch_index"])
+        return monitor, batch_index
 
     @classmethod
     def recover(
-        cls, path: str | Path, *, metrics: Metrics = NULL_METRICS
+        cls,
+        path: str | Path,
+        *,
+        metrics: Metrics = NULL_METRICS,
+        verify_checksum: bool = True,
     ) -> tuple[MaxRSMonitor, int]:
         """Load the newest readable checkpoint, falling back through
         the rotated history when the current file is damaged.
 
-        Raises :class:`SnapshotError` when no retained checkpoint is
-        readable.
+        Every damaged candidate skipped increments the
+        ``checkpoint_fallbacks`` counter (``checkpoint_checksum_failures``
+        additionally when the damage was a checksum mismatch), so silent
+        corruption leaves an observable trace even though recovery
+        succeeds.  Raises :class:`SnapshotError` when no retained
+        checkpoint is readable.
         """
         primary = Path(path)
         candidates = [primary]
@@ -166,8 +222,13 @@ class CheckpointManager:
             if not candidate.exists():
                 continue
             try:
-                monitor, batch_index = cls.load(candidate)
+                monitor, batch_index = cls.load(
+                    candidate, verify_checksum=verify_checksum
+                )
             except (SnapshotError, InvalidParameterError) as exc:
+                if isinstance(exc, CheckpointChecksumError):
+                    metrics.inc("checkpoint_checksum_failures")
+                metrics.inc("checkpoint_fallbacks")
                 last_error = exc
                 continue
             metrics.inc("recoveries")

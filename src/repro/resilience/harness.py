@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, List, Tuple
 
 from repro.core.ag2 import AG2Monitor
 from repro.core.naive import NaiveMonitor
@@ -37,6 +37,7 @@ from repro.resilience.checkpoint import CheckpointManager
 from repro.resilience.dlq import ErrorPolicy
 from repro.resilience.guard import IngestGuard
 from repro.resilience.supervisor import MonitorSupervisor
+from repro.soak.report import ReportBase
 from repro.window import CountWindow
 
 __all__ = ["ChaosReport", "run_chaos"]
@@ -45,7 +46,7 @@ _WEIGHT_TOL = 1e-6
 
 
 @dataclass
-class ChaosReport:
+class ChaosReport(ReportBase):
     """Everything a chaos soak observed, plus the two verdicts."""
 
     engine_report: EngineReport
@@ -106,9 +107,22 @@ class ChaosReport:
     def ok(self) -> bool:
         return self.result_verified and self.accounted
 
-    def rows(self) -> list[dict[str, object]]:
-        """(quantity, value) rows for the CLI table."""
-        pairs = [
+    def failures(self) -> list[str]:
+        lines = []
+        if not self.result_verified:
+            lines.append(
+                f"supervised weight {self.supervised_weight:.6f} != naive "
+                f"recompute {self.naive_weight:.6f}"
+            )
+        if not self.accounted:
+            lines.append(
+                "conservation accounting did not close at the ingest "
+                "boundary"
+            )
+        return lines
+
+    def _pairs(self) -> List[Tuple[str, object]]:
+        return [
             ("batches run", self.engine_report.batches),
             ("final window size", self.window_size),
             ("supervised weight", f"{self.supervised_weight:.6f}"),
@@ -133,16 +147,12 @@ class ChaosReport:
             ("result verified", self.result_verified),
             ("accounting closed", self.accounted),
         ]
-        return [{"quantity": k, "value": v} for k, v in pairs]
 
-    def to_dict(self) -> dict[str, Any]:
-        doc = {
-            row["quantity"].replace(" ", "_"): row["value"]
-            for row in self.rows()
+    def _extra(self) -> dict[str, Any]:
+        return {
+            "dead_letters_by_reason": dict(self.dead_letters_by_reason),
+            "engine": self.engine_report.to_dict(),
         }
-        doc["dead_letters_by_reason"] = dict(self.dead_letters_by_reason)
-        doc["engine"] = self.engine_report.to_dict()
-        return doc
 
 
 def naive_recompute(

@@ -1,0 +1,69 @@
+"""End-to-end soak subsystem: phased fault campaigns with recovery.
+
+Lazy exports (PEP 562): the chaos and overload harnesses import
+:mod:`repro.soak.report` for the shared report protocol, while
+:mod:`repro.soak.harness` imports them back — eager re-exports here
+would close that cycle at import time.
+"""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.soak.harness import SoakReport, run_soak
+    from repro.soak.injectors import (
+        CORRUPTION_MODES,
+        ClockSkewSource,
+        corrupt_checkpoint,
+    )
+    from repro.soak.invariants import InvariantMonitor
+    from repro.soak.report import ReportBase
+    from repro.soak.scenario import (
+        SCENARIOS,
+        Phase,
+        Scenario,
+        get_scenario,
+        list_scenarios,
+    )
+
+__all__ = [
+    "CORRUPTION_MODES",
+    "ClockSkewSource",
+    "InvariantMonitor",
+    "Phase",
+    "ReportBase",
+    "SCENARIOS",
+    "Scenario",
+    "SoakReport",
+    "corrupt_checkpoint",
+    "get_scenario",
+    "list_scenarios",
+    "run_soak",
+]
+
+_HOMES = {
+    "CORRUPTION_MODES": "repro.soak.injectors",
+    "ClockSkewSource": "repro.soak.injectors",
+    "corrupt_checkpoint": "repro.soak.injectors",
+    "InvariantMonitor": "repro.soak.invariants",
+    "ReportBase": "repro.soak.report",
+    "Phase": "repro.soak.scenario",
+    "Scenario": "repro.soak.scenario",
+    "SCENARIOS": "repro.soak.scenario",
+    "get_scenario": "repro.soak.scenario",
+    "list_scenarios": "repro.soak.scenario",
+    "SoakReport": "repro.soak.harness",
+    "run_soak": "repro.soak.harness",
+}
+
+
+def __getattr__(name: str):
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(home), name)
+
+
+def __dir__() -> list:
+    return sorted(__all__)

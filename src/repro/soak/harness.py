@@ -1,0 +1,604 @@
+"""End-to-end soak harness: phased fault campaigns over the full stack.
+
+:func:`run_soak` composes every production layer this library ships —
+
+    dataset stream → FaultInjectingSource → ClockSkewSource
+        → IngestGuard (+ ReorderBuffer, DeadLetterQueue)
+        → BackpressureQueue
+        → StreamEngine → AdaptiveMonitor (deadline ladder + breaker)
+        → CheckpointManager
+    (optionally alongside a ParallelQueryGroup and its inline twin)
+
+— and drives it through a :class:`~repro.soak.scenario.Scenario`'s
+phases: clean traffic, dirty data, late/skew bursts, overload spikes,
+mid-run compute-tier crashes recovered from (possibly corrupted)
+checkpoints, and worker-process kills.  An
+:class:`~repro.soak.invariants.InvariantMonitor` closes the loop every
+tick: global conservation across all layers, watermark monotonicity,
+epsilon-guarantee spot checks against an exact companion, and exact
+re-convergence after every recovery.
+
+Everything is deterministic for a fixed seed: arrivals, fault rolls,
+skew schedules, crash points, *and the ladder trajectory* — the
+deadline controller is fed a modeled latency (``unit_ms × batch ×
+rung_discount``) instead of wall-clock, so two runs of the same
+scenario produce byte-identical reports.  The ``maxrs-stream soak``
+CLI and the CI soak-smoke job are thin wrappers over this function.
+"""
+
+from __future__ import annotations
+
+import itertools
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.ag2 import AG2Monitor
+from repro.core.objects import SpatialObject
+from repro.datasets import make_stream
+from repro.engine.engine import StreamEngine
+from repro.engine.parallel import ParallelQueryGroup
+from repro.errors import InvalidParameterError, SnapshotError
+from repro.obs.metrics import Metrics
+from repro.overload.backpressure import BackpressureQueue
+from repro.overload.breaker import CircuitBreaker
+from repro.overload.controller import AdaptiveMonitor, DeadlineController
+from repro.resilience.chaos import FaultInjectingSource
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.guard import ErrorPolicy, IngestGuard
+from repro.soak.injectors import ClockSkewSource, corrupt_checkpoint
+from repro.soak.invariants import InvariantMonitor
+from repro.soak.report import ReportBase
+from repro.soak.scenario import Phase, Scenario, get_scenario
+from repro.overload.harness import LoadGenerator
+from repro.window import CountWindow
+
+__all__ = ["SoakReport", "run_soak"]
+
+_MONITOR = "ladder"
+_MAX_FAILURE_LINES = 20
+
+
+@dataclass
+class SoakReport(ReportBase):
+    """Everything one soak campaign observed, plus its verdict.
+
+    Deliberately free of wall-clock quantities and object ids: two runs
+    of the same scenario and seed must serialise identically
+    (``to_dict() == to_dict()``), which is itself asserted in tests.
+    """
+
+    scenario: str
+    seed: int
+    verify_checksum: bool
+    ticks: int
+    batches: int
+    # ingest accounting
+    offered: int
+    admitted: int
+    quarantined: int
+    skipped: int
+    late_dropped: int
+    late_reordered: int
+    reorder_pending: int
+    # queue accounting
+    processed: int
+    shed: int
+    refused_offers: int
+    spilled: int
+    queue_pending: int
+    holdover: int
+    # injected faults
+    drops: int
+    duplicates: int
+    corrupt_payloads: int
+    delayed: int
+    skewed: int
+    # crash / recovery
+    crashes: int
+    recoveries: int
+    cold_starts: int
+    replayed_batches: int
+    checkpoints_written: int
+    checkpoint_fallbacks: int
+    checksum_failures: int
+    # ladder trajectory (accumulated across incarnations)
+    ladder_transitions: int
+    final_mode: str
+    breaker_trips: int
+    rebuilds: int
+    stale_served: int
+    # worker churn
+    worker_kills: int
+    worker_respawns: int
+    worker_gave_up: bool
+    # invariant coverage
+    ledger_checks: int
+    watermark_checks: int
+    guarantee_checks: int
+    convergence_checks: int
+    violations: List[Dict[str, object]] = field(default_factory=list)
+    phases: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no cross-layer invariant was breached."""
+        return not self.violations
+
+    def failures(self) -> list[str]:
+        lines = [
+            f"{v['kind']} in phase {v['phase']!r}: {v['detail']}"
+            for v in self.violations[:_MAX_FAILURE_LINES]
+        ]
+        hidden = len(self.violations) - _MAX_FAILURE_LINES
+        if hidden > 0:
+            lines.append(f"... and {hidden} more violations")
+        return lines
+
+    def _pairs(self) -> List[Tuple[str, object]]:
+        return [
+            ("scenario", self.scenario),
+            ("seed", self.seed),
+            ("checksum verified", self.verify_checksum),
+            ("arrival ticks", self.ticks),
+            ("applied batches", self.batches),
+            ("records offered", self.offered),
+            ("records admitted", self.admitted),
+            ("records quarantined", self.quarantined),
+            ("records skipped", self.skipped),
+            ("late dropped", self.late_dropped),
+            ("late reordered", self.late_reordered),
+            ("reorder pending", self.reorder_pending),
+            ("objects processed", self.processed),
+            ("objects shed", self.shed),
+            ("refused offers", self.refused_offers),
+            ("objects spilled", self.spilled),
+            ("queue pending", self.queue_pending),
+            ("holdover", self.holdover),
+            ("injected drops", self.drops),
+            ("injected duplicates", self.duplicates),
+            ("injected corrupt", self.corrupt_payloads),
+            ("injected delays", self.delayed),
+            ("injected skews", self.skewed),
+            ("crashes", self.crashes),
+            ("recoveries", self.recoveries),
+            ("cold starts", self.cold_starts),
+            ("replayed batches", self.replayed_batches),
+            ("checkpoints written", self.checkpoints_written),
+            ("checkpoint fallbacks", self.checkpoint_fallbacks),
+            ("checksum failures", self.checksum_failures),
+            ("ladder transitions", self.ladder_transitions),
+            ("final mode", self.final_mode),
+            ("breaker trips", self.breaker_trips),
+            ("index rebuilds", self.rebuilds),
+            ("stale served", self.stale_served),
+            ("worker kills", self.worker_kills),
+            ("worker respawns", self.worker_respawns),
+            ("worker gave up", self.worker_gave_up),
+            ("ledger checks", self.ledger_checks),
+            ("watermark checks", self.watermark_checks),
+            ("guarantee checks", self.guarantee_checks),
+            ("convergence checks", self.convergence_checks),
+            ("violations", len(self.violations)),
+            ("soak passed", self.ok),
+        ]
+
+    def _extra(self) -> dict[str, object]:
+        return {
+            "violation_details": [dict(v) for v in self.violations],
+            "phase_breakdown": [dict(p) for p in self.phases],
+        }
+
+
+class _SoakRun:
+    """One scenario execution: the composed stack plus its bookkeeping."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        seed: int,
+        verify_checksum: bool,
+        checkpoint_dir: Path,
+    ) -> None:
+        scn = self.scenario = scenario
+        self.seed = seed
+        self.verify_checksum = verify_checksum
+        self.ckpt_path = checkpoint_dir / f"{scn.name}.ckpt.json"
+        self.metrics = Metrics("soak")
+        self.ckpt_scope = self.metrics.scope("checkpoint")
+
+        self.base = iter(make_stream(scn.dataset, domain=scn.domain, seed=seed))
+        self.guard = IngestGuard(
+            policy=ErrorPolicy.QUARANTINE,
+            max_lateness=scn.max_lateness,
+            dlq_capacity=4096,
+        )
+        self.queue = BackpressureQueue(
+            scn.capacity, policy=scn.shed_policy, max_batch=scn.max_batch
+        )
+        # rung cost factors for the modeled latency: exact work is the
+        # unit, each approximation rung is proportionally cheaper, and
+        # sampling is an order of magnitude cheaper — the shape (not
+        # the absolute numbers) is what the controller steers on
+        discounts = [1.0] + [
+            1.0 / (i + 2) for i in range(len(scn.epsilons))
+        ] + [0.1]
+        unit = scn.unit_ms
+
+        def latency_model(rung: int, batch: int) -> float:
+            return unit * batch * discounts[min(rung, len(discounts) - 1)]
+
+        self._latency_model = latency_model
+        self.adaptive = self._make_adaptive()
+        self.manager = CheckpointManager(
+            self.adaptive,
+            self.ckpt_path,
+            every=scn.checkpoint_every,
+            keep=scn.checkpoint_keep,
+            metrics=self.ckpt_scope,
+        )
+        self.engine = StreamEngine(
+            {_MONITOR: self.adaptive},
+            iter(()),  # externally driven: the engine never pulls
+            batch_size=scn.rate,
+            metrics=self.metrics,
+            checkpoint=self.manager,
+        )
+        self.invariants = InvariantMonitor(
+            guard=self.guard,
+            queue=self.queue,
+            side=scn.side,
+            stride=scn.stride,
+        )
+        self.reference = CountWindow(scn.window)
+        self.applied: List[List[SpatialObject]] = []
+        self.holdover: List[SpatialObject] = []
+        self.group: ParallelQueryGroup | None = None
+        self.twin: ParallelQueryGroup | None = None
+        # accumulated across monitor incarnations (crash replaces the
+        # AdaptiveMonitor, which would otherwise reset its counters)
+        self.transitions = 0
+        self.breaker_trips = 0
+        self.rebuilds = 0
+        self.stale_served = 0
+        self.ticks = 0
+        self.crashes = 0
+        self.recoveries = 0
+        self.cold_starts = 0
+        self.replayed = 0
+        self.kills = 0
+        self.tallies = {
+            "drops": 0,
+            "duplicates": 0,
+            "corrupted": 0,
+            "delayed": 0,
+            "skewed": 0,
+        }
+        self.phase_stats: List[Dict[str, object]] = []
+
+    # -- stack assembly ------------------------------------------------------
+
+    def _make_adaptive(self) -> AdaptiveMonitor:
+        scn = self.scenario
+        controller = DeadlineController(
+            scn.budget_ms,
+            alpha=0.5,
+            high_fraction=0.85,
+            escalate_after=1,
+            deescalate_after=2,
+            min_residency=3,
+            panic_factor=1.6,
+        )
+        return AdaptiveMonitor(
+            scn.side,
+            scn.side,
+            lambda: CountWindow(scn.window),
+            epsilon_schedule=scn.epsilons,
+            sampling_epsilon=scn.sampling_epsilon,
+            seed=self.seed,
+            controller=controller,
+            breaker=CircuitBreaker(),
+            probe_every=scn.probe_every,
+            latency_model=self._latency_model,
+        )
+
+    def _prime(self) -> None:
+        scn = self.scenario
+        prime = self.prime = list(itertools.islice(self.base, scn.window))
+        self.adaptive.ingest(prime)
+        self.reference.push(prime)
+        if scn.workers > 0:
+            self.group = ParallelQueryGroup(
+                workers=scn.workers, snapshot_every=scn.snapshot_every
+            )
+            self.twin = ParallelQueryGroup(workers=0)
+            for registry in (self.group, self.twin):
+                for i in range(scn.churn_queries):
+                    side = scn.side * (0.6 + 0.2 * i)
+                    monitor = AG2Monitor(side, side, CountWindow(scn.window))
+                    monitor.ingest(prime)
+                    registry.add(f"q{i}", monitor)
+
+    def _phase_source(self, phase: Phase, index: int):
+        """The (possibly fault-wrapped) record iterator for one phase.
+
+        Wrappers abandoned at phase end may hold delayed records; those
+        never reach the ingest guard, so the conservation ledger —
+        which starts at the guard — is unaffected, and the loss is
+        deterministic per seed.
+        """
+        feed: object = self.base
+        chaos: FaultInjectingSource | None = None
+        skew: ClockSkewSource | None = None
+        if phase.has_faults:
+            chaos = FaultInjectingSource(
+                feed,
+                seed=self.seed + 101 * (index + 1),
+                p_drop=phase.p_drop,
+                p_duplicate=phase.p_duplicate,
+                p_corrupt=phase.p_corrupt,
+                p_delay=phase.p_delay,
+                max_delay=phase.max_delay,
+            )
+            feed = chaos
+        if phase.skew_every:
+            skew = ClockSkewSource(
+                feed,
+                skew=phase.skew_amount,
+                period=phase.skew_every,
+                burst=phase.skew_burst,
+            )
+            feed = skew
+        return iter(feed) if feed is not self.base else self.base, chaos, skew
+
+    # -- the drive loop ------------------------------------------------------
+
+    def _apply_batch(self, phase_name: str, batch: List[SpatialObject]) -> int:
+        self.adaptive.note_pressure(self.queue.pending + len(self.holdover))
+        self.engine.process(batch)
+        self.applied.append(batch)
+        self.reference.push(batch)
+        if self.group is not None and self.twin is not None:
+            self.group.update(batch)
+            self.twin.update(batch)
+        self.invariants.note_batch(phase_name, self.adaptive)
+        return 1
+
+    def _run_phase(self, phase: Phase, index: int) -> None:
+        scn = self.scenario
+        pull, chaos, skew = self._phase_source(phase, index)
+        period = phase.period or phase.ticks
+        generator = LoadGenerator(
+            max(1, round(scn.rate * phase.rate_factor)),
+            pattern=phase.pattern,
+            burst_factor=phase.burst_factor,
+            period=period,
+            burst_ticks=phase.burst_ticks or period,
+            jitter=phase.jitter,
+            seed=self.seed + 7 * index + 3,
+        )
+        arrivals = generator.arrivals(phase.ticks)
+        offered_before = self.guard.offered
+        batches = 0
+        for tick, count in enumerate(arrivals):
+            if phase.crash_at == tick:
+                self._crash_and_recover(phase)
+            for kill_tick, shard in phase.worker_kills:
+                if kill_tick == tick and self.group is not None:
+                    self.group.kill_worker(shard)
+                    self.kills += 1
+            raw = list(itertools.islice(pull, count))
+            released = self.guard.filter(raw)
+            self.holdover = self.queue.offer_all(self.holdover + released)
+            batch = self.queue.take_batch()
+            if batch:
+                batches += self._apply_batch(phase.name, batch)
+            self.invariants.check_tick(phase.name, len(self.holdover))
+            self.ticks += 1
+        if chaos is not None:
+            self.tallies["drops"] += chaos.drops
+            self.tallies["duplicates"] += chaos.duplicates
+            self.tallies["corrupted"] += chaos.corrupted
+            self.tallies["delayed"] += chaos.delayed
+        if skew is not None:
+            self.tallies["skewed"] += skew.skewed
+        if self.group is not None and self.twin is not None:
+            self.invariants.check_group(
+                phase.name, self.group.results(), self.twin.results()
+            )
+        if phase.verify_convergence:
+            self.invariants.check_convergence(
+                phase.name,
+                self.adaptive,
+                self.reference,
+                where="phase end",
+            )
+        self.phase_stats.append(
+            {
+                "name": phase.name,
+                "kind": phase.kind,
+                "ticks": phase.ticks,
+                "batches": batches,
+                "offered": self.guard.offered - offered_before,
+            }
+        )
+
+    def _crash_and_recover(self, phase: Phase) -> None:
+        """Tear the compute tier down mid-run, then restore it from the
+        newest readable checkpoint and replay the tail."""
+        self.crashes += 1
+        self._bank_ladder(self.adaptive)
+        self.engine.teardown()
+        self.queue.spill()  # the consumer's in-flight buffer dies with it
+        if phase.corrupt is not None and self.ckpt_path.exists():
+            corrupt_checkpoint(self.ckpt_path, phase.corrupt)
+        contents: List[SpatialObject] = []
+        position = 0
+        try:
+            snapshot, position = CheckpointManager.recover(
+                self.ckpt_path,
+                metrics=self.ckpt_scope,
+                verify_checksum=self.verify_checksum,
+            )
+            contents = list(snapshot.window.contents)
+            self.recoveries += 1
+        except (SnapshotError, InvalidParameterError):
+            # nothing readable on disk: cold start — re-run the untimed
+            # priming (the stream is deterministic) and replay every
+            # applied batch from the beginning
+            contents = self.prime
+            self.cold_starts += 1
+        self.adaptive = self._make_adaptive()
+        if contents:
+            self.adaptive.ingest(contents)
+        for batch in self.applied[position:]:
+            self.adaptive.update(batch)
+        self.replayed += len(self.applied) - position
+        self.manager.resume(self.adaptive, len(self.applied))
+        self.engine.restore({_MONITOR: self.adaptive})
+        self.invariants.check_convergence(
+            phase.name,
+            self.adaptive,
+            self.reference,
+            where="post-recovery replay",
+            require_exact_mode=False,
+        )
+
+    def _bank_ladder(self, monitor: AdaptiveMonitor) -> None:
+        self.transitions += len(monitor.transitions)
+        self.breaker_trips += monitor.breaker.trips
+        self.rebuilds += monitor.rebuilds
+        self.stale_served += monitor.stale_residency
+
+    def _drain_tail(self) -> None:
+        """Flush the reorder buffer and drain the queue to empty, so the
+        final accounting has nothing in flight."""
+        self.holdover = self.holdover + self.guard.flush()
+        while True:
+            self.holdover = self.queue.offer_all(self.holdover)
+            batch = self.queue.take_batch()
+            if not batch:
+                break
+            self._apply_batch("drain", batch)
+            self.invariants.check_tick("drain", len(self.holdover))
+
+    # -- entry ---------------------------------------------------------------
+
+    def execute(self) -> SoakReport:
+        try:
+            self._prime()
+            for index, phase in enumerate(self.scenario.phases):
+                self._run_phase(phase, index)
+            self._drain_tail()
+            self.invariants.check_tick("final", len(self.holdover))
+            self.invariants.check_convergence(
+                "final",
+                self.adaptive,
+                self.reference,
+                where="end of campaign",
+                require_exact_mode=False,
+            )
+            self._bank_ladder(self.adaptive)
+            return self._report()
+        finally:
+            if self.group is not None:
+                self.group.close()
+            if self.twin is not None:
+                self.twin.close()
+
+    def _report(self) -> SoakReport:
+        guard, queue, inv = self.guard, self.queue, self.invariants
+        counter = self.ckpt_scope.counter
+        if self.group is not None:
+            stats = self.group.stats()
+            respawns = int(stats["respawn_count"])
+            gave_up = bool(stats["gave_up"])
+        else:
+            respawns, gave_up = 0, False
+        return SoakReport(
+            scenario=self.scenario.name,
+            seed=self.seed,
+            verify_checksum=self.verify_checksum,
+            ticks=self.ticks,
+            batches=len(self.applied),
+            offered=guard.offered,
+            admitted=guard.admitted,
+            quarantined=guard.quarantined,
+            skipped=guard.skipped,
+            late_dropped=guard.late_dropped,
+            late_reordered=guard.reorder.reordered,
+            reorder_pending=guard.reorder.pending,
+            processed=queue.processed,
+            shed=queue.shed,
+            refused_offers=queue.refused,
+            spilled=queue.spilled,
+            queue_pending=queue.pending,
+            holdover=len(self.holdover),
+            drops=self.tallies["drops"],
+            duplicates=self.tallies["duplicates"],
+            corrupt_payloads=self.tallies["corrupted"],
+            delayed=self.tallies["delayed"],
+            skewed=self.tallies["skewed"],
+            crashes=self.crashes,
+            recoveries=self.recoveries,
+            cold_starts=self.cold_starts,
+            replayed_batches=self.replayed,
+            checkpoints_written=self.manager.checkpoints_written,
+            checkpoint_fallbacks=int(counter("checkpoint_fallbacks").value),
+            checksum_failures=int(
+                counter("checkpoint_checksum_failures").value
+            ),
+            ladder_transitions=self.transitions,
+            final_mode=self.adaptive.mode,
+            breaker_trips=self.breaker_trips,
+            rebuilds=self.rebuilds,
+            stale_served=self.stale_served,
+            worker_kills=self.kills,
+            worker_respawns=respawns,
+            worker_gave_up=gave_up,
+            ledger_checks=inv.ledger_checks,
+            watermark_checks=inv.watermark_checks,
+            guarantee_checks=inv.guarantee_checks,
+            convergence_checks=inv.convergence_checks,
+            violations=list(inv.violations),
+            phases=self.phase_stats,
+        )
+
+
+def run_soak(
+    scenario: Scenario | str,
+    *,
+    seed: int | None = None,
+    verify_checksum: bool = True,
+    checkpoint_dir: str | Path | None = None,
+) -> SoakReport:
+    """Run one soak scenario end to end and report on it.
+
+    Args:
+        scenario: A :class:`~repro.soak.scenario.Scenario`, or the name
+            of a committed one (``smoke``, ``dirty_overload``,
+            ``crash_recovery``, ``worker_churn``).
+        seed: Overrides the scenario's seed (same scenario + same seed
+            ⇒ identical report).
+        verify_checksum: Forwarded to checkpoint recovery.  Disabling it
+            makes silent checkpoint corruption (the ``bitflip`` mode)
+            restore bad state — which the re-convergence invariant then
+            catches, failing the run; with it on, recovery falls back to
+            the previous rotation and the run passes.
+        checkpoint_dir: Where checkpoint files live; a temporary
+            directory (removed afterwards) when omitted.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    resolved_seed = scenario.seed if seed is None else int(seed)
+    if checkpoint_dir is not None:
+        workdir = Path(checkpoint_dir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        return _SoakRun(
+            scenario, resolved_seed, verify_checksum, workdir
+        ).execute()
+    with tempfile.TemporaryDirectory(prefix="maxrs-soak-") as tmp:
+        return _SoakRun(
+            scenario, resolved_seed, verify_checksum, Path(tmp)
+        ).execute()

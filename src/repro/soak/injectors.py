@@ -1,0 +1,119 @@
+"""Fault injectors the chaos/overload harnesses lack.
+
+Two families:
+
+* :class:`ClockSkewSource` — clock-skew / watermark-regression bursts:
+  periodically rewrites a run of timestamps *backwards*, as a producer
+  with a skewed clock would, forcing the reorder buffer to absorb (or
+  late-drop) the regressed records while its watermark stays monotone.
+* :func:`corrupt_checkpoint` — damages a checkpoint file on disk the
+  two ways the recovery path must survive: a *torn* write (truncated
+  bytes, caught by the JSON layer) and a *bit flip* (payload altered,
+  envelope still valid JSON — only the CRC32 content checksum can
+  catch it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.objects import SpatialObject
+from repro.errors import InvalidParameterError
+
+__all__ = ["ClockSkewSource", "corrupt_checkpoint", "CORRUPTION_MODES"]
+
+CORRUPTION_MODES = ("torn", "bitflip")
+
+
+class ClockSkewSource:
+    """Wrap a record stream, periodically regressing timestamps.
+
+    Every ``period`` records, the next ``burst`` valid objects are
+    re-stamped ``skew`` time units into the past.  Non-``SpatialObject``
+    payloads (e.g. records already corrupted by an upstream
+    :class:`~repro.resilience.chaos.FaultInjectingSource`) pass through
+    untouched but still advance the position counter, so the skew
+    schedule is deterministic for a fixed upstream sequence.
+
+    Args:
+        source: Upstream records (objects or raw payloads).
+        skew: How far back (in timestamp units) skewed stamps regress.
+        period: Distance between burst starts, in records.
+        burst: Number of consecutive records skewed per burst.
+    """
+
+    def __init__(
+        self,
+        source: Iterable[object],
+        *,
+        skew: float,
+        period: int,
+        burst: int = 1,
+    ) -> None:
+        if skew <= 0:
+            raise InvalidParameterError(f"skew must be positive, got {skew}")
+        if period <= 0:
+            raise InvalidParameterError(
+                f"period must be positive, got {period}"
+            )
+        if not 0 < burst <= period:
+            raise InvalidParameterError(
+                f"need 0 < burst <= period, got {burst} / {period}"
+            )
+        self._source = source
+        self.skew = float(skew)
+        self.period = int(period)
+        self.burst = int(burst)
+        self.skewed = 0
+        self._position = 0
+
+    def __iter__(self) -> Iterator[object]:
+        for record in self._source:
+            in_burst = self._position % self.period < self.burst
+            self._position += 1
+            if in_burst and isinstance(record, SpatialObject):
+                self.skewed += 1
+                yield dataclasses.replace(
+                    record, timestamp=record.timestamp - self.skew
+                )
+            else:
+                yield record
+
+
+def corrupt_checkpoint(path: str | Path, mode: str) -> None:
+    """Damage a checkpoint file in place (soak/testing hook).
+
+    * ``"torn"`` — truncate the file to ~60% of its bytes, simulating
+      a write torn by power loss on a filesystem without atomic
+      rename (or post-write media damage).  The JSON no longer parses,
+      so even checksum-less loading detects it.
+    * ``"bitflip"`` — silently perturb the payload (the *newest*
+      object's weight — the oldest would be evicted during tail replay
+      before any check could see it — or the batch index when the
+      window was empty) without touching the stored ``crc32``.  The
+      file still parses and restores; only checksum verification can
+      tell it is wrong.
+    """
+    file = Path(path)
+    if not file.exists():
+        raise InvalidParameterError(f"no checkpoint to corrupt at {file}")
+    if mode == "torn":
+        data = file.read_bytes()
+        file.write_bytes(data[: max(1, (len(data) * 3) // 5)])
+        return
+    if mode == "bitflip":
+        document = json.loads(file.read_text())
+        objects = document.get("state", {}).get("objects", [])
+        if objects:
+            objects[-1]["weight"] = float(objects[-1]["weight"]) + 1.0
+        else:
+            document["batch_index"] = int(document.get("batch_index", 0)) + 1
+        file.write_text(json.dumps(document))
+        return
+    raise InvalidParameterError(
+        f"unknown corruption mode {mode!r}; choose from "
+        f"{', '.join(CORRUPTION_MODES)}"
+    )

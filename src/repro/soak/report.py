@@ -1,0 +1,56 @@
+"""Shared report protocol for the soak / chaos / overload harnesses.
+
+Each harness ends with a report object; the CLI renders it as a
+``(quantity, value)`` table, serialises it to JSON and gates the exit
+code on it.  :class:`ReportBase` fixes that protocol in one place so
+all three render and gate identically:
+
+* ``rows()`` — the table, built from the subclass's ``_pairs()``;
+* ``to_dict()`` — the JSON document: snake_cased row keys plus the
+  subclass's ``_extra()`` payload;
+* ``ok`` — the overall verdict (subclass property);
+* ``failures()`` — human-readable one-liners for every failed
+  verdict, which the CLI prints as ``FAIL: ...`` lines before exiting
+  non-zero.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+__all__ = ["ReportBase"]
+
+
+class ReportBase:
+    """Mixin giving a harness report the common render/gate surface.
+
+    Subclasses implement ``_pairs()`` (ordered ``(quantity, value)``
+    tuples; quantities are space-separated words), the ``ok`` property,
+    and ``failures()``; ``_extra()`` optionally adds structured fields
+    to the JSON document that have no tabular shape.
+    """
+
+    def _pairs(self) -> List[Tuple[str, object]]:
+        raise NotImplementedError
+
+    def _extra(self) -> dict[str, Any]:
+        return {}
+
+    @property
+    def ok(self) -> bool:
+        raise NotImplementedError
+
+    def failures(self) -> list[str]:
+        """One line per failed verdict; empty iff ``ok``."""
+        raise NotImplementedError
+
+    def rows(self) -> list[dict[str, object]]:
+        """(quantity, value) rows for the CLI table."""
+        return [{"quantity": k, "value": v} for k, v in self._pairs()]
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            k.replace(" ", "_"): v for k, v in self._pairs()
+        }
+        doc.update(self._extra())
+        return doc

@@ -20,7 +20,7 @@ from repro.core.g2 import G2Monitor
 from repro.core.naive import NaiveMonitor
 from repro.core.spaces import region_key
 from repro.core.topk import TopKAG2Monitor
-from repro.errors import ReproError, SnapshotError
+from repro.errors import CheckpointChecksumError, ReproError, SnapshotError
 from repro.obs import Metrics
 from repro.resilience import CheckpointManager, MonitorSupervisor
 from repro.window import CountWindow
@@ -239,3 +239,104 @@ class TestCrashRecoveryEquivalence:
         # second period boundary (batch 8) checkpointed by the resumed manager
         _, final_index = CheckpointManager.load(path)
         assert final_index == 8
+
+
+class TestChecksum:
+    def _checkpointed(self, tmp_path, *, keep=1):
+        monitor = FACTORIES["ag2"]()
+        path = tmp_path / "ckpt.json"
+        manager = CheckpointManager(monitor, path, every=1, keep=keep)
+        for batch in stream_batches(3):
+            monitor.update(batch)
+            manager.note_batch()
+        return monitor, path
+
+    def test_envelope_carries_a_crc_that_roundtrips(self, tmp_path):
+        monitor, path = self._checkpointed(tmp_path)
+        document = json.loads(path.read_text())
+        assert isinstance(document["crc32"], int)
+        restored, index = CheckpointManager.load(path)
+        assert index == 3
+        assert [o.oid for o in restored.window.contents] == [
+            o.oid for o in monitor.window.contents
+        ]
+
+    def test_silent_payload_tamper_is_caught(self, tmp_path):
+        _, path = self._checkpointed(tmp_path)
+        document = json.loads(path.read_text())
+        document["state"]["objects"][0]["weight"] += 1.0
+        path.write_text(json.dumps(document))  # crc32 left stale
+        with pytest.raises(CheckpointChecksumError, match="checksum"):
+            CheckpointManager.load(path)
+        # opting out of verification loads the damaged payload anyway
+        restored, _ = CheckpointManager.load(path, verify_checksum=False)
+        assert len(restored.window) == 3 * BATCH
+
+    def test_checksum_less_legacy_checkpoint_still_loads(self, tmp_path):
+        _, path = self._checkpointed(tmp_path)
+        document = json.loads(path.read_text())
+        del document["crc32"]
+        path.write_text(json.dumps(document))
+        _, index = CheckpointManager.load(path)
+        assert index == 3
+
+    def test_recover_skips_tampered_latest_with_metrics(self, tmp_path):
+        _, path = self._checkpointed(tmp_path, keep=2)
+        document = json.loads(path.read_text())
+        document["state"]["objects"][-1]["x"] += 0.5
+        path.write_text(json.dumps(document))
+        metrics = Metrics()
+        restored, index = CheckpointManager.recover(
+            path, metrics=metrics.scope("ckpt")
+        )
+        assert index == 2  # fell back to the previous rotation
+        assert len(restored.window) == 2 * BATCH
+        snap = metrics.snapshot()
+        assert snap.counters["ckpt.checkpoint_checksum_failures"] == 1
+        assert snap.counters["ckpt.checkpoint_fallbacks"] == 1
+        assert snap.counters["ckpt.recoveries"] == 1
+
+
+class TestTornWrite:
+    def test_torn_temp_from_a_mid_write_crash_is_ignored(self, tmp_path):
+        """A crash during the checkpoint write itself leaves a torn
+        ``*.tmp`` file beside the target; recovery must ignore it and
+        load the committed checkpoint untouched."""
+        monitor = FACTORIES["naive"]()
+        path = tmp_path / "ckpt.json"
+        manager = CheckpointManager(monitor, path, every=1)
+        for batch in stream_batches(2):
+            monitor.update(batch)
+            manager.note_batch()
+        committed = path.read_text()
+        # simulate the mid-write crash: a half-serialised temp file
+        (tmp_path / "ckpt.json12345.tmp").write_text(committed[:25])
+        restored, index = CheckpointManager.recover(path)
+        assert index == 2
+        assert path.read_text() == committed  # committed file untouched
+        assert len(restored.window) == 2 * BATCH
+
+    def test_interrupted_write_leaves_old_checkpoint_loadable(
+        self, tmp_path, monkeypatch
+    ):
+        """If the process dies before os.replace, the previous complete
+        checkpoint is still what readers see."""
+        import os as _os
+
+        monitor = FACTORIES["naive"]()
+        path = tmp_path / "ckpt.json"
+        manager = CheckpointManager(monitor, path, every=1, keep=0)
+        monitor.update(stream_batches(1)[0])
+        manager.note_batch()
+
+        def explode(src, dst):
+            raise OSError("simulated crash at the replace boundary")
+
+        monitor.update(stream_batches(2)[1])
+        monkeypatch.setattr(persist.os, "replace", explode)
+        with pytest.raises(OSError):
+            manager.note_batch()
+        monkeypatch.undo()
+        _, index = CheckpointManager.recover(path)
+        assert index == 1  # the pre-crash checkpoint, complete
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.json"]

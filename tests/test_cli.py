@@ -117,3 +117,44 @@ class TestOverloadCommand:
         assert doc["ledger_closed"] is True
         assert doc["final_mode"] == "exact"
         assert "transitions" in doc and "engine" in doc
+
+
+class TestSoakCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.scenario == "smoke"
+        assert args.seed is None
+        assert args.no_verify_checksum is False
+
+    def test_list_scenarios(self, capsys):
+        assert main(["soak", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke", "dirty_overload", "crash_recovery",
+                     "worker_churn"):
+            assert name in out
+
+    def test_smoke_scenario_passes(self, capsys, tmp_path):
+        path = tmp_path / "soak.json"
+        code = main(
+            ["soak", "--scenario", "smoke",
+             "--checkpoint-dir", str(tmp_path / "ckpts"),
+             "--json", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "soak [smoke]" in out
+        assert "OK:" in out and "FAIL" not in out
+        import json
+
+        doc = json.loads(path.read_text())
+        assert doc["soak_passed"] is True
+        assert doc["scenario"] == "smoke"
+        assert "phase_breakdown" in doc
+
+    def test_corrupted_checkpoint_fails_without_checksums(self, capsys):
+        code = main(
+            ["soak", "--scenario", "crash_recovery", "--no-verify-checksum"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL:" in out

@@ -145,6 +145,7 @@ class TestLedger:
             "shed_oldest": 2,
             "shed_newest": 0,
             "refused": 0,
+            "spilled": 0,
             "pending": 2,
             "high_water": 4,
         }

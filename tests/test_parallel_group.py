@@ -17,7 +17,7 @@ from repro.core.ag2 import AG2Monitor
 from repro.core.g2 import G2Monitor
 from repro.engine.multi import MultiQueryGroup
 from repro.engine.parallel import ParallelQueryGroup
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, UnrecoverableMonitorError
 from repro.window import CountWindow
 
 
@@ -157,3 +157,63 @@ class TestRegistry:
             group.add("q", _monitor(0))
             group.update(_batches(1)[0])
         assert group._shards == {}
+
+
+class TestRespawnBudget:
+    def test_budget_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ParallelQueryGroup(workers=1, max_respawns=0)
+        with pytest.raises(InvalidParameterError):
+            ParallelQueryGroup(workers=1, backoff=0.5)
+        with pytest.raises(InvalidParameterError):
+            ParallelQueryGroup(workers=1, backoff_base=-1.0)
+
+    def test_exhausted_budget_raises_and_sticks(self):
+        sleeps = []
+        group = ParallelQueryGroup(
+            workers=1,
+            max_respawns=3,
+            backoff_base=0.01,
+            backoff=2.0,
+            sleep=sleeps.append,
+        )
+        try:
+            group.add("q", _monitor(0))
+            group.update(_batches(1, seed=5)[0])
+            shard = group._shards[0]
+            for _ in range(3):  # burn the whole consecutive budget
+                group._recover(shard)
+            # first respawn is immediate, then base * factor**(n-1)
+            assert sleeps == pytest.approx([0.01, 0.02])
+            with pytest.raises(UnrecoverableMonitorError, match="giving up"):
+                group._recover(shard)
+            assert shard.gave_up
+            # sticky: no further respawns attempted, no further sleeps
+            with pytest.raises(UnrecoverableMonitorError):
+                group._recover(shard)
+            assert len(sleeps) == 2
+            stats = group.stats()
+            assert stats["gave_up"] is True
+            assert stats["respawn_count"] == 3
+            assert stats["shards"][0]["gave_up"] is True
+        finally:
+            group.close()
+
+    def test_successful_call_resets_the_streak(self):
+        group = ParallelQueryGroup(
+            workers=1, max_respawns=2, backoff_base=0.0
+        )
+        try:
+            group.add("q", _monitor(0))
+            batches = _batches(3, seed=23)
+            group.update(batches[0])
+            group.kill_worker(0)
+            group.update(batches[1])  # transparent recovery resets streak
+            group.kill_worker(0)
+            group.update(batches[2])  # second kill fits a budget of 2
+            stats = group.stats()
+            assert stats["recoveries"] == 2
+            assert stats["shards"][0]["consecutive_failures"] == 0
+            assert not stats["gave_up"]
+        finally:
+            group.close()

@@ -1,0 +1,349 @@
+"""End-to-end soak subsystem tests: scenarios, injectors, invariants,
+crash-restart recovery, and the determinism contract.
+
+The headline guarantees under test:
+
+* every committed scenario passes (no cross-layer invariant breach);
+* two runs of the same scenario + seed serialise to identical reports;
+* a bit-flipped checkpoint fails the campaign when checksum
+  verification is disabled and passes (via rotation fallback) when it
+  is enabled;
+* the externally driven engine session (process/teardown/restore)
+  behaves like a crash of the compute tier only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from conftest import make_objects
+from repro.core.naive import NaiveMonitor
+from repro.core.objects import SpatialObject
+from repro.errors import InvalidParameterError, ReproError
+from repro.obs import Metrics
+from repro.resilience.checkpoint import CheckpointManager
+from repro.engine.engine import StreamEngine
+from repro.soak import (
+    ClockSkewSource,
+    Phase,
+    Scenario,
+    corrupt_checkpoint,
+    get_scenario,
+    list_scenarios,
+    run_soak,
+)
+from repro.soak.report import ReportBase
+from repro.window import CountWindow
+
+
+class TestScenarioValidation:
+    def test_committed_suite_is_valid(self):
+        scenarios = list_scenarios()
+        assert [s.name for s in scenarios] == [
+            "smoke",
+            "dirty_overload",
+            "crash_recovery",
+            "worker_churn",
+        ]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_phase_rejects_bad_fields(self):
+        with pytest.raises(InvalidParameterError, match="ticks"):
+            Phase(name="p", ticks=0)
+        with pytest.raises(InvalidParameterError, match="p_drop"):
+            Phase(name="p", p_drop=1.5)
+        with pytest.raises(InvalidParameterError, match="crash_at"):
+            Phase(name="p", ticks=5, crash_at=5)
+        with pytest.raises(InvalidParameterError, match="needs"):
+            Phase(name="p", corrupt="torn")  # corrupt without crash_at
+        with pytest.raises(InvalidParameterError, match="corruption mode"):
+            Phase(name="p", crash_at=0, corrupt="gamma-ray")
+        with pytest.raises(InvalidParameterError, match="worker kill"):
+            Phase(name="p", ticks=5, worker_kills=((9, 0),))
+
+    def test_scenario_rejects_inconsistencies(self):
+        clean = Phase(name="a")
+        with pytest.raises(InvalidParameterError, match="at least one"):
+            Scenario(name="s", description="d", phases=())
+        with pytest.raises(InvalidParameterError, match="unique"):
+            Scenario(name="s", description="d", phases=(clean, clean))
+        with pytest.raises(InvalidParameterError, match="workers"):
+            Scenario(
+                name="s",
+                description="d",
+                phases=(Phase(name="k", ticks=5, worker_kills=((0, 0),)),),
+                workers=0,
+            )
+
+
+class TestInjectors:
+    def test_clock_skew_validation(self):
+        with pytest.raises(InvalidParameterError, match="skew"):
+            ClockSkewSource([], skew=0, period=10)
+        with pytest.raises(InvalidParameterError, match="period"):
+            ClockSkewSource([], skew=1.0, period=0)
+        with pytest.raises(InvalidParameterError, match="burst"):
+            ClockSkewSource([], skew=1.0, period=4, burst=5)
+
+    def test_skew_schedule_is_positional(self):
+        objects = make_objects(10, seed=3, start_t=100.0)
+        source = ClockSkewSource(objects, skew=50.0, period=5, burst=2)
+        out = list(source)
+        assert source.skewed == 4  # positions 0,1 and 5,6
+        for i, (original, seen) in enumerate(zip(objects, out)):
+            if i % 5 < 2:
+                assert seen.timestamp == original.timestamp - 50.0
+            else:
+                assert seen.timestamp == original.timestamp
+
+    def test_non_objects_pass_through_but_advance_position(self):
+        objects = make_objects(4, seed=1)
+        mixed = [objects[0], "garbage", objects[1], objects[2]]
+        source = ClockSkewSource(mixed, skew=5.0, period=2, burst=1)
+        out = list(source)
+        assert out[1] == "garbage"  # untouched, but burnt position 1
+        assert source.skewed == 2  # positions 0 and 2
+
+    def test_corrupt_checkpoint_validation(self, tmp_path):
+        missing = tmp_path / "none.json"
+        with pytest.raises(InvalidParameterError, match="no checkpoint"):
+            corrupt_checkpoint(missing, "torn")
+        target = tmp_path / "ckpt.json"
+        target.write_text('{"format": 1}')
+        with pytest.raises(InvalidParameterError, match="unknown corruption"):
+            corrupt_checkpoint(target, "cosmic")
+
+    def test_torn_truncates_and_bitflip_keeps_envelope(self, tmp_path):
+        monitor = NaiveMonitor(12, 12, CountWindow(30))
+        monitor.update(make_objects(20, seed=5))
+        path = tmp_path / "ckpt.json"
+        CheckpointManager(monitor, path).checkpoint()
+        pristine = json.loads(path.read_text())
+
+        bitflip = tmp_path / "flip.json"
+        bitflip.write_text(path.read_text())
+        corrupt_checkpoint(bitflip, "bitflip")
+        flipped = json.loads(bitflip.read_text())
+        assert flipped["crc32"] == pristine["crc32"]  # silent damage
+        assert flipped["state"] != pristine["state"]
+
+        corrupt_checkpoint(path, "torn")
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())
+
+
+class TestRunSoak:
+    def test_smoke_passes_with_full_invariant_coverage(self):
+        report = run_soak("smoke")
+        assert report.ok and not report.failures()
+        assert report.ledger_checks > 0
+        assert report.watermark_checks > 0
+        assert report.guarantee_checks > 0
+        assert report.convergence_checks > 0
+        assert report.offered == (
+            report.admitted
+            + report.quarantined
+            + report.skipped
+            + report.late_dropped
+            + report.reorder_pending
+        )
+        # faults of every configured family were actually injected
+        assert report.drops > 0
+        assert report.duplicates > 0
+        assert report.corrupt_payloads > 0
+        assert report.delayed > 0
+        assert report.skewed > 0
+
+    def test_same_seed_reports_are_identical(self):
+        first = run_soak("smoke").to_dict()
+        second = run_soak("smoke").to_dict()
+        assert first == second
+
+    def test_different_seed_changes_the_run(self):
+        base = run_soak("smoke").to_dict()
+        other = run_soak("smoke", seed=1234).to_dict()
+        assert base != other
+
+    def test_dirty_overload_forces_the_ladder_and_sheds(self):
+        report = run_soak("dirty_overload")
+        assert report.ok, report.failures()
+        assert report.shed > 0
+        assert report.ladder_transitions > 0
+        assert report.final_mode == "exact"
+
+    def test_crash_recovery_survives_all_three_corruptions(self):
+        report = run_soak("crash_recovery")
+        assert report.ok, report.failures()
+        assert report.crashes == 3
+        assert report.recoveries == 3
+        assert report.cold_starts == 0
+        assert report.replayed_batches > 0
+        assert report.spilled > 0  # the queue's in-flight buffer died too
+        # torn latest -> fallback; bitflipped rotation -> checksum catch
+        assert report.checkpoint_fallbacks >= 2
+        assert report.checksum_failures >= 1
+
+    def test_bitflip_fails_without_checksum_verification(self):
+        report = run_soak("crash_recovery", verify_checksum=False)
+        assert not report.ok
+        kinds = {v["kind"] for v in report.violations}
+        assert "convergence_contents" in kinds
+        phases = {v["phase"] for v in report.violations}
+        assert "crash_bitflip" in phases
+        assert any("crash_bitflip" in line for line in report.failures())
+
+    def test_worker_churn_recovers_every_kill(self):
+        report = run_soak("worker_churn")
+        assert report.ok, report.failures()
+        assert report.worker_kills == 4
+        assert report.worker_respawns == 4
+        assert not report.worker_gave_up
+
+    def test_checkpoint_dir_is_honoured(self, tmp_path):
+        workdir = tmp_path / "ckpts"
+        report = run_soak("smoke", checkpoint_dir=workdir)
+        assert report.ok
+        assert (workdir / "smoke.ckpt.json").exists()
+
+
+class TestSoakReportProtocol:
+    def test_all_harness_reports_share_the_protocol(self):
+        from repro.overload.harness import OverloadReport
+        from repro.resilience.harness import ChaosReport
+        from repro.soak.harness import SoakReport
+
+        for cls in (ChaosReport, OverloadReport, SoakReport):
+            assert issubclass(cls, ReportBase)
+
+    def test_rows_and_dict_stay_aligned(self):
+        report = run_soak("smoke")
+        rows = report.rows()
+        doc = report.to_dict()
+        for row in rows:
+            key = str(row["quantity"]).replace(" ", "_")
+            assert doc[key] == row["value"]
+        assert "violation_details" in doc
+        assert "phase_breakdown" in doc
+
+    def test_failures_capped_and_counted(self):
+        report = run_soak("smoke")
+        many = dataclasses.replace(
+            report,
+            violations=[
+                {"phase": "p", "kind": "k", "detail": str(i)}
+                for i in range(25)
+            ],
+        )
+        lines = many.failures()
+        assert len(lines) == 21
+        assert lines[-1] == "... and 5 more violations"
+        assert not many.ok
+
+
+class TestEngineSession:
+    def _engine(self):
+        monitor = NaiveMonitor(12, 12, CountWindow(40))
+        return StreamEngine({"m": monitor}, iter(()), batch_size=10), monitor
+
+    def test_process_accumulates_one_session(self):
+        engine, monitor = self._engine()
+        batches = [make_objects(10, seed=i, start_t=i * 10.0) for i in range(3)]
+        for batch in batches:
+            results = engine.process(batch)
+        assert results["m"].window_size == 30
+        report = engine.collect_report()
+        assert report.batches == 3
+        with pytest.raises(ReproError, match="no process"):
+            engine.collect_report()
+
+    def test_process_rejects_empty_batches(self):
+        engine, _ = self._engine()
+        with pytest.raises(InvalidParameterError, match="non-empty"):
+            engine.process([])
+
+    def test_teardown_blocks_processing_until_restore(self):
+        engine, monitor = self._engine()
+        engine.process(make_objects(10, seed=1))
+        engine.teardown()
+        assert engine.monitors == {}
+        with pytest.raises(ReproError, match="torn down"):
+            engine.process(make_objects(10, seed=2))
+        with pytest.raises(InvalidParameterError):
+            engine.restore({})
+        replacement = NaiveMonitor(12, 12, CountWindow(40))
+        engine.restore({"m": replacement})
+        results = engine.process(make_objects(10, seed=3))
+        assert results["m"].window_size == 10
+
+    def test_restore_reattaches_metrics_scopes(self):
+        metrics = Metrics("t")
+        monitor = NaiveMonitor(12, 12, CountWindow(40))
+        engine = StreamEngine(
+            {"m": monitor}, iter(()), batch_size=10, metrics=metrics
+        )
+        engine.process(make_objects(10, seed=1))
+        engine.teardown()
+        replacement = NaiveMonitor(12, 12, CountWindow(40))
+        engine.restore({"m": replacement})
+        engine.process(make_objects(10, seed=2))
+        snap = metrics.snapshot()
+        # both incarnations observed under the same scope
+        assert snap.counters["m.objects_seen"] == 20
+
+
+class TestCustomScenario:
+    def test_tiny_custom_scenario_runs(self, tmp_path):
+        scenario = Scenario(
+            name="tiny",
+            description="two clean phases with a plain crash",
+            window=80,
+            rate=20,
+            checkpoint_every=2,
+            stride=2,
+            phases=(
+                Phase(name="warm", ticks=6),
+                Phase(
+                    name="crash",
+                    kind="crash",
+                    ticks=6,
+                    crash_at=2,
+                    verify_convergence=True,
+                ),
+            ),
+        )
+        report = run_soak(scenario, checkpoint_dir=tmp_path)
+        assert report.ok, report.failures()
+        assert report.crashes == 1
+        assert report.recoveries == 1
+        assert report.scenario == "tiny"
+
+    def test_cold_start_when_no_checkpoint_exists(self, tmp_path):
+        scenario = Scenario(
+            name="cold",
+            description="crash before the first checkpoint period",
+            window=60,
+            rate=20,
+            checkpoint_every=50,  # never reached before the crash
+            stride=0,
+            phases=(
+                Phase(
+                    name="early_crash",
+                    kind="crash",
+                    ticks=5,
+                    crash_at=2,
+                    verify_convergence=True,
+                ),
+            ),
+        )
+        report = run_soak(scenario, checkpoint_dir=tmp_path)
+        assert report.ok, report.failures()
+        assert report.cold_starts == 1
+        assert report.recoveries == 0
+        # replay covered everything applied before the crash
+        assert report.replayed_batches > 0
