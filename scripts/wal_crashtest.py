@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""WAL crash-consistency loop: SIGKILL an appender, verify the log.
+
+CI's ``durability-smoke`` job runs this alongside the ``wal_recovery``
+soak scenario.  Each round forks a child process that appends known,
+index-derived batches to a shared log directory as fast as it can
+(``fsync=always``), kills it with ``SIGKILL`` after a few dozen
+milliseconds — guaranteeing, over enough rounds, kills that land
+mid-``write`` — and then audits what survived:
+
+* every readable record's payload matches exactly what the child must
+  have written for that index (content integrity, not just CRC);
+* batch indexes form a gap-free prefix ``1..last`` — a kill may tear
+  the tail but can never lose an interior record;
+* no record fails CRC (a kill cannot flip bits, only truncate);
+* reopening the log truncates any torn tail and resumes at the right
+  index, so the *next* round's child appends seamlessly after it.
+
+Rounds share one directory, so resume-after-resume and rotation across
+incarnations are exercised too.  A JSON report is written for the CI
+artifact; exit is non-zero on any violated property.
+
+Usage::
+
+    PYTHONPATH=src python scripts/wal_crashtest.py --rounds 8 \
+        --out wal-crashtest.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.core.objects import SpatialObject
+except ModuleNotFoundError:  # running from a checkout without install
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.core.objects import SpatialObject
+from repro.durability.recovery import scan_wal
+from repro.durability.wal import WriteAheadLog
+
+_BATCH = 3  # objects per appended batch
+
+
+def _expected_batch(index: int) -> list[SpatialObject]:
+    """The batch the child writes for ``index`` — pure function of it."""
+    return [
+        SpatialObject(
+            x=float(index % 97),
+            y=float(j),
+            weight=1.0 + (index + j) % 5,
+            timestamp=float(index),
+            oid=index * _BATCH + j,
+        )
+        for j in range(_BATCH)
+    ]
+
+
+def _child(directory: str) -> None:
+    """Append batches forever; the parent SIGKILLs us mid-flight."""
+    wal = WriteAheadLog(directory, fsync="always", segment_records=8)
+    index = wal.last_index
+    while True:
+        index += 1
+        wal.append_batch(_expected_batch(index), index=index)
+
+
+def _audit(directory: Path) -> dict[str, object]:
+    """Scan + verify one post-kill log state; raise AssertionError on
+    any broken crash-consistency property."""
+    scan = scan_wal(directory)
+    assert not scan.skipped, (
+        f"SIGKILL produced CRC-damaged records {scan.skipped}: kills "
+        f"must only tear the tail"
+    )
+    indexes = [index for index, _objects in scan.batches]
+    assert indexes == list(range(1, len(indexes) + 1)), (
+        f"batch indexes are not a gap-free prefix: {indexes[:20]}..."
+    )
+    for index, objects in scan.batches:
+        assert objects == _expected_batch(index), (
+            f"record for index {index} survived with wrong content"
+        )
+    torn = len(scan.truncated_segments)
+    # reopening must truncate the torn tail and resume at the last
+    # complete record, ready for the next incarnation
+    with WriteAheadLog(directory, fsync="always", segment_records=8) as wal:
+        assert wal.torn_tails_truncated == torn
+        assert wal.last_index == scan.last_index, (
+            f"reopen resumed at index {wal.last_index}, scan says "
+            f"{scan.last_index}"
+        )
+    return {
+        "records": len(scan.batches),
+        "last_index": scan.last_index,
+        "torn_tail": torn > 0,
+        "segments": scan.segments,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", type=Path, default=None,
+                        help="log directory (default: a fresh temp dir)")
+    parser.add_argument("--rounds", type=int, default=8,
+                        help="kill/audit rounds (default: %(default)s)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--child", action="store_true",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        _child(str(args.dir))
+        return 0  # pragma: no cover - killed before reaching this
+
+    if args.dir is None:
+        import tempfile
+
+        args.dir = Path(tempfile.mkdtemp(prefix="maxrs-wal-crashtest-"))
+    args.dir.mkdir(parents=True, exist_ok=True)
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    rounds: list[dict[str, object]] = []
+    ok = True
+    for i in range(args.rounds):
+        size_before = sum(
+            p.stat().st_size for p in args.dir.glob("wal-*.seg")
+        )
+        proc = subprocess.Popen(
+            [sys.executable, __file__, "--child", "--dir", str(args.dir)],
+            env=env,
+        )
+        # wait out interpreter startup: kill only once the child has
+        # demonstrably appended, so every round audits fresh records
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            size = sum(
+                p.stat().st_size for p in args.dir.glob("wal-*.seg")
+            )
+            if size > size_before:
+                break
+            if proc.poll() is not None:
+                print(f"FAIL: child exited early (rc={proc.returncode})")
+                return 1
+            time.sleep(0.002)
+        # vary the kill point so over the rounds it lands between
+        # appends, mid-write, and mid-fsync alike
+        time.sleep(0.002 + 0.0113 * (i % 5))
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        try:
+            result = _audit(args.dir)
+        except AssertionError as exc:
+            result = {"error": str(exc)}
+            ok = False
+        result["round"] = i
+        rounds.append(result)
+        print(f"round {i}: {result}")
+        if not ok:
+            break
+
+    grew = [int(r.get("last_index", 0)) for r in rounds]
+    report = {
+        "rounds": rounds,
+        "total_rounds": len(rounds),
+        "final_index": grew[-1] if grew else 0,
+        "torn_tails": sum(1 for r in rounds if r.get("torn_tail")),
+        "ok": ok and bool(grew) and grew[-1] > 0,
+    }
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote report to {args.out}")
+    if not report["ok"]:
+        print("FAIL: crash-consistency property violated")
+        return 1
+    print(
+        f"OK: {len(rounds)} kills, log grew to index "
+        f"{report['final_index']}, {report['torn_tails']} torn tails "
+        f"truncated, every surviving record verified"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

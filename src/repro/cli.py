@@ -11,7 +11,8 @@ Subcommands mirror the paper's evaluation artefacts::
     maxrs-stream bench --seed 42 --out BENCH_PR6.json
     maxrs-stream chaos --batches 200 --policy quarantine
     maxrs-stream overload --pattern square --burst-factor 10
-    maxrs-stream soak --scenario crash_recovery
+    maxrs-stream soak --scenario wal_recovery --wal-dir run.wal
+    maxrs-stream wal inspect --dir run.wal
 
 Every subcommand prints a plain-text table; ``--dataset`` accepts the
 four built-in workload names (see ``repro.datasets``).
@@ -327,7 +328,30 @@ def build_parser() -> argparse.ArgumentParser:
         "re-convergence invariant catches)",
     )
     p_soak.add_argument(
+        "--wal-dir", metavar="PATH", default=None,
+        help="directory for write-ahead-log segments, for scenarios "
+        "with the WAL enabled (default: <scenario>.wal beside the "
+        "checkpoints); ignored by WAL-less scenarios",
+    )
+    p_soak.add_argument(
         "--json", metavar="PATH", help="write the soak report as JSON"
+    )
+
+    p_wal = sub.add_parser(
+        "wal",
+        help="write-ahead-log tooling: 'inspect' walks every segment "
+        "of a log directory, verifies frame CRCs, and exits non-zero "
+        "if any record is damaged or any tail is torn",
+    )
+    p_wal.add_argument("action", choices=("inspect",))
+    p_wal.add_argument(
+        "--dir", required=True, metavar="PATH",
+        help="WAL directory (holds wal-*.seg files)",
+    )
+    p_wal.add_argument(
+        "--json", metavar="PATH",
+        help="write the full inspection report (per-record detail) as "
+        "JSON",
     )
 
     p_bench = sub.add_parser(
@@ -555,6 +579,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             verify_checksum=not args.no_verify_checksum,
             checkpoint_dir=args.checkpoint_dir,
+            wal_dir=args.wal_dir,
         )
         title = (
             f"soak [{scenario.name}] seed={soak_report.seed} "
@@ -572,6 +597,29 @@ def main(argv: Sequence[str] | None = None) -> int:
             "OK: campaign survived; conservation closed, watermarks "
             "monotone, guarantees held, recoveries re-converged exactly"
         )
+    elif args.command == "wal":
+        from repro.durability import inspect_wal
+
+        doc = inspect_wal(args.dir)
+        rows = [
+            {"quantity": "directory", "value": doc["directory"]},
+            {"quantity": "segments", "value": doc["segments"]},
+            {"quantity": "records", "value": doc["records"]},
+            {"quantity": "damaged records", "value": doc["damaged_records"]},
+            {"quantity": "torn segments", "value": doc["torn_segments"]},
+            {"quantity": "clean", "value": doc["clean"]},
+        ]
+        print(format_rows(rows, title=f"wal inspect [{args.dir}]"))
+        if args.json:
+            write_metrics_json(args.json, doc)
+            print(f"wrote inspection report JSON to {args.json}")
+        if not doc["clean"]:
+            print(
+                f"FAIL: log is damaged ({doc['damaged_records']} bad "
+                f"records, {doc['torn_segments']} torn segments)"
+            )
+            return 1
+        print("OK: every record verified, no torn tails")
     elif args.command == "bench":
         from repro.bench.bench import bench_rows, run_bench, scaling_rows
 

@@ -1,0 +1,59 @@
+"""Durable ingest journalling: WAL segments, records, and recovery.
+
+The package that removes the "sources are deterministic and
+replayable" assumption from the recovery story (see
+:mod:`repro.durability.wal` for the architecture overview and
+``docs/DURABILITY.md`` for the operator-facing contract).
+"""
+
+from __future__ import annotations
+
+from repro.durability.inspect import inspect_wal
+from repro.durability.record import (
+    FrameScan,
+    ScannedRecord,
+    decode_payload,
+    encode_payload,
+    encode_record,
+    objects_from_payload,
+    objects_to_payload,
+    scan_frames,
+)
+from repro.durability.recovery import (
+    DEFAULT_MAX_SKIPS,
+    RecoveredTail,
+    WalScan,
+    describe,
+    reconcile,
+    scan_wal,
+)
+from repro.durability.segment import (
+    FsyncPolicy,
+    list_segments,
+    segment_first_seq,
+    segment_name,
+)
+from repro.durability.wal import WriteAheadLog
+
+__all__ = [
+    "DEFAULT_MAX_SKIPS",
+    "FrameScan",
+    "FsyncPolicy",
+    "RecoveredTail",
+    "ScannedRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "decode_payload",
+    "describe",
+    "encode_payload",
+    "encode_record",
+    "inspect_wal",
+    "list_segments",
+    "objects_from_payload",
+    "objects_to_payload",
+    "reconcile",
+    "scan_frames",
+    "scan_wal",
+    "segment_first_seq",
+    "segment_name",
+]

@@ -1,0 +1,265 @@
+"""WAL recovery: scan, damage accounting, and checkpoint reconciliation.
+
+Recovery reads the whole log (oldest surviving segment first) and
+classifies every frame:
+
+* complete + CRC-valid — replayable;
+* complete + CRC-invalid — a **bit flip**; skipped, up to a budget
+  (``max_skips``), beyond which the log is declared untrustworthy
+  (:class:`~repro.errors.WalCorruptionError`);
+* incomplete tail — **torn** by a crash mid-append; truncated.  Under
+  the append-before-apply contract a torn record was never applied to
+  any monitor, so truncation loses nothing that needs replaying.
+
+The scan alone only proves *what survived*.  :func:`reconcile` proves
+it is *enough*: given the checkpoint's recorded position ``p`` (batches
+applied before the snapshot), the replay tail must contain exactly the
+batch indexes ``p+1, p+2, ..., last`` with no holes.  A skipped record
+whose index is ``<= p`` is harmless — its effects are inside the
+checkpoint — but a hole after ``p`` means the WAL cannot reproduce the
+uninterrupted run, and recovery stops with a typed
+:class:`~repro.errors.WalSequenceError` instead of replaying a gapped
+history into a silently wrong answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.objects import SpatialObject
+from repro.durability.record import (
+    decode_payload,
+    objects_from_payload,
+    scan_frames,
+)
+from repro.durability.segment import list_segments
+from repro.errors import (
+    InvalidParameterError,
+    WalCorruptionError,
+    WalSequenceError,
+)
+
+__all__ = ["WalScan", "scan_wal", "reconcile", "RecoveredTail"]
+
+# how many CRC-damaged records a recovery scan tolerates before it
+# declares the log untrustworthy; media that flips more than a handful
+# of records is failing, not unlucky
+DEFAULT_MAX_SKIPS = 4
+
+
+@dataclass
+class WalScan:
+    """Everything a full-log scan learned, before reconciliation.
+
+    Attributes:
+        batches: ``(index, objects)`` for every readable batch record,
+            in log order.
+        spills: ``(index, objects, seq)`` for every readable spill
+            record, in log order (recovery uses only the newest —
+            earlier spills belong to crashes already recovered from).
+        last_seq: Highest sequence number seen (0 for an empty log).
+        last_index: Highest batch index among readable records.
+        skipped: Sequence numbers of CRC-damaged records that were
+            skipped.
+        skipped_indexes: Batch indexes provably lost to damage —
+            inferred from the index gap around each skipped record
+            (empty when damaged records were spills or duplicates).
+        truncated_segments: Segment paths whose tail was torn.
+        segments: Number of segment files scanned.
+    """
+
+    batches: list[tuple[int, list[SpatialObject]]] = field(
+        default_factory=list
+    )
+    spills: list[tuple[int, list[SpatialObject], int]] = field(
+        default_factory=list
+    )
+    last_seq: int = 0
+    last_index: int = 0
+    skipped: list[int] = field(default_factory=list)
+    skipped_indexes: list[int] = field(default_factory=list)
+    truncated_segments: list[Path] = field(default_factory=list)
+    segments: int = 0
+
+    @property
+    def latest_spill(
+        self,
+    ) -> tuple[int, list[SpatialObject], int] | None:
+        """The newest spill record, if any crash ever journalled one."""
+        return self.spills[-1] if self.spills else None
+
+
+def scan_wal(
+    directory: str | Path, *, max_skips: int = DEFAULT_MAX_SKIPS
+) -> WalScan:
+    """Read every segment under ``directory`` into a :class:`WalScan`.
+
+    Raises:
+        WalCorruptionError: More than ``max_skips`` records failed CRC
+            verification — the log is damaged beyond the trust budget.
+        InvalidParameterError: ``max_skips`` is negative.
+    """
+    if max_skips < 0:
+        raise InvalidParameterError(
+            f"max_skips must be >= 0, got {max_skips}"
+        )
+    directory = Path(directory)
+    result = WalScan()
+    batch_indexes_seen: set[int] = set()
+    for _first_seq, path in list_segments(directory):
+        result.segments += 1
+        with path.open("rb") as fh:
+            scan = scan_frames(fh)
+        if scan.torn:
+            result.truncated_segments.append(path)
+        for record in scan.records:
+            if not record.ok:
+                result.skipped.append(record.seq)
+                if len(result.skipped) > max_skips:
+                    raise WalCorruptionError(
+                        f"WAL under {directory} has "
+                        f"{len(result.skipped)} CRC-damaged records, "
+                        f"more than the skip budget of {max_skips}; "
+                        f"refusing to replay an untrustworthy log"
+                    )
+                continue
+            result.last_seq = max(result.last_seq, record.seq)
+            document = decode_payload(record.payload)
+            index = int(document["index"])
+            objects = objects_from_payload(document["objects"])
+            kind = document.get("kind")
+            if kind == "batch":
+                result.batches.append((index, objects))
+                batch_indexes_seen.add(index)
+                result.last_index = max(result.last_index, index)
+            elif kind == "spill":
+                result.spills.append((index, objects, record.seq))
+                result.last_index = max(result.last_index, index)
+            else:
+                raise WalCorruptionError(
+                    f"WAL record seq={record.seq} has unknown kind "
+                    f"{kind!r}"
+                )
+    # a skipped record's batch index is unrecoverable, but a hole in
+    # the otherwise-contiguous batch index sequence pins it down
+    if result.batches:
+        low = min(batch_indexes_seen)
+        high = max(batch_indexes_seen)
+        result.skipped_indexes = [
+            i for i in range(low, high + 1) if i not in batch_indexes_seen
+        ]
+    return result
+
+
+@dataclass(frozen=True)
+class RecoveredTail:
+    """The reconciled replay plan for one recovery.
+
+    Attributes:
+        batches: Batches to replay, in index order — exactly the
+            indexes ``position+1 .. last_index``.
+        spill: Objects from the newest spill record, to be restored
+            into the backpressure queue's pending buffer (empty list
+            when no spill applies).
+        position: The checkpoint position the tail was reconciled
+            against.
+        replayed_indexes: Convenience: indexes of ``batches``.
+    """
+
+    batches: tuple[tuple[int, list[SpatialObject]], ...]
+    spill: list[SpatialObject]
+    position: int
+
+    @property
+    def replayed_indexes(self) -> tuple[int, ...]:
+        return tuple(index for index, _objects in self.batches)
+
+
+def reconcile(scan: WalScan, position: int) -> RecoveredTail:
+    """Check the scanned log can replay from ``position`` and plan it.
+
+    ``position`` is the checkpoint's recorded batch count (0 for a cold
+    start).  Damage at or below ``position`` is forgiven — those
+    batches live inside the checkpoint.  Past ``position`` the batch
+    indexes must be complete and contiguous.
+
+    Raises:
+        WalSequenceError: The checkpoint claims a position the log
+            never reached, a replay batch was lost to damage, or the
+            tail has a hole.
+    """
+    if position < 0:
+        raise InvalidParameterError(
+            f"checkpoint position must be >= 0, got {position}"
+        )
+    if position > scan.last_index:
+        raise WalSequenceError(
+            f"checkpoint records position {position} but the WAL's "
+            f"newest record has index {scan.last_index}: the log and "
+            f"checkpoint diverged (wrong directory, or the WAL was "
+            f"compacted past its checkpoint)"
+        )
+    lost = [i for i in scan.skipped_indexes if i > position]
+    if lost:
+        raise WalSequenceError(
+            f"replay tail after position {position} lost batch "
+            f"index(es) {lost} to corruption; the WAL cannot "
+            f"reproduce the uninterrupted run"
+        )
+    by_index: dict[int, list[SpatialObject]] = {}
+    for index, objects in scan.batches:
+        if index > position:
+            by_index[index] = objects
+    expected = list(range(position + 1, scan.last_index + 1))
+    tail: list[tuple[int, list[SpatialObject]]] = []
+    for index in expected:
+        if index not in by_index:
+            # an index can legitimately be absent when the newest
+            # record is a spill at last_index with no batch at that
+            # index yet — only interior holes are divergence
+            if index < scan.last_index or any(
+                i > index for i in by_index
+            ):
+                raise WalSequenceError(
+                    f"replay tail is missing batch index {index} "
+                    f"(checkpoint position {position}, WAL last index "
+                    f"{scan.last_index})"
+                )
+            continue
+        tail.append((index, by_index[index]))
+    spill = scan.latest_spill
+    spill_objects: list[SpatialObject] = []
+    if (
+        spill is not None
+        and spill[0] >= position
+        and spill[2] == scan.last_seq
+    ):
+        # restore a spill only when it is the log's final readable
+        # record: a spill is journalled at the instant of a crash, so
+        # anything appended after it means a later incarnation already
+        # restored (or re-processed) that buffer — re-queueing it again
+        # would duplicate objects.  A spill older than the checkpoint
+        # position is equally stale.
+        spill_objects = spill[1]
+    return RecoveredTail(
+        batches=tuple(tail), spill=spill_objects, position=position
+    )
+
+
+def describe(scan: WalScan) -> dict[str, Any]:
+    """Plain-data summary of a scan (the ``wal inspect`` payload)."""
+    return {
+        "segments": scan.segments,
+        "records": len(scan.batches) + len(scan.spills),
+        "batches": len(scan.batches),
+        "spills": len(scan.spills),
+        "last_seq": scan.last_seq,
+        "last_index": scan.last_index,
+        "skipped_records": list(scan.skipped),
+        "skipped_indexes": list(scan.skipped_indexes),
+        "truncated_segments": [
+            str(path) for path in scan.truncated_segments
+        ],
+    }

@@ -1,0 +1,94 @@
+"""WAL segment files and the fsync durability policy.
+
+A log is a directory of append-only segment files named by the
+sequence number of their first record::
+
+    wal-00000000000000000001.seg
+    wal-00000000000000000009.seg
+    ...
+
+Naming by first sequence number makes two operations O(1) on the
+directory listing alone: finding where to resume appending (the
+highest-named segment) and retention (a segment whose *successor*
+starts at ``seq <= floor + 1`` is fully covered by a checkpoint at
+``floor`` and can be deleted without reading it).
+
+:class:`FsyncPolicy` names the three durability contracts an appender
+can buy, from strongest to cheapest:
+
+* ``ALWAYS`` — ``fsync`` after every append.  A record handed back to
+  the caller is on disk; a crash can only tear the record *being*
+  appended, never lose an acknowledged one.  This is the policy under
+  which recovery is exact for non-replayable sources.
+* ``BATCH`` — ``fsync`` on an explicit :meth:`~repro.durability.wal.
+  WriteAheadLog.sync` (the engine calls it at checkpoint boundaries)
+  and on segment rotation/close.  A crash may lose the suffix appended
+  since the last sync — bounded, and recovery still truncates to a
+  consistent prefix.
+* ``OS`` — never ``fsync``; the page cache decides.  Fastest, survives
+  *process* crashes (the OS still holds the pages) but not power loss.
+
+All three policies write through the same append path, so torn-tail
+truncation and CRC skipping behave identically — only the *loss
+window* after a crash differs.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from pathlib import Path
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["FsyncPolicy", "segment_name", "segment_first_seq", "list_segments"]
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{20})\.seg$")
+
+
+class FsyncPolicy(enum.Enum):
+    """When appended records are forced to stable storage."""
+
+    ALWAYS = "always"
+    BATCH = "batch"
+    OS = "os"
+
+    @classmethod
+    def coerce(cls, value: "FsyncPolicy | str") -> "FsyncPolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            choices = ", ".join(p.value for p in cls)
+            raise InvalidParameterError(
+                f"unknown fsync policy {value!r}; choose one of {choices}"
+            ) from None
+
+
+def segment_name(first_seq: int) -> str:
+    """File name of the segment whose first record is ``first_seq``."""
+    if first_seq <= 0:
+        raise InvalidParameterError(
+            f"segment first seq must be positive, got {first_seq}"
+        )
+    return f"wal-{first_seq:020d}.seg"
+
+
+def segment_first_seq(path: Path) -> int | None:
+    """Parse a segment file name back to its first sequence number."""
+    match = _SEGMENT_RE.match(path.name)
+    return int(match.group(1)) if match else None
+
+
+def list_segments(directory: Path) -> list[tuple[int, Path]]:
+    """All segment files under ``directory`` as ``(first_seq, path)``,
+    ordered by first sequence number.  Non-segment files are ignored —
+    the directory may also hold checkpoints and dead-letter journals."""
+    found: list[tuple[int, Path]] = []
+    for path in directory.iterdir():
+        first = segment_first_seq(path)
+        if first is not None:
+            found.append((first, path))
+    found.sort()
+    return found

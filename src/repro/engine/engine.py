@@ -27,6 +27,7 @@ from repro.core.objects import SpatialObject
 from repro.core.spaces import MaxRSResult
 from repro.engine.stats import TimingStats
 from repro.errors import (
+    DiskFullError,
     InvalidParameterError,
     ReproError,
     StreamExhaustedWarning,
@@ -35,6 +36,7 @@ from repro.obs.metrics import Metrics, MetricsSnapshot
 from repro.streams.source import StreamSource
 
 if TYPE_CHECKING:  # resilience/overload import engine back; keep runtime lazy
+    from repro.durability.wal import WriteAheadLog
     from repro.overload.backpressure import BackpressureQueue
     from repro.resilience.checkpoint import CheckpointManager
 
@@ -163,6 +165,16 @@ class StreamEngine:
             conservation ledger, shed counts and — for monitors with an
             ``overload_summary()`` (the degradation ladder) — the
             mode-residency timeline and staleness.
+        wal: Optional :class:`~repro.durability.wal.WriteAheadLog`.
+            Every applied batch is journalled *before* any monitor sees
+            it (append-before-apply), so recovery can replay the
+            post-checkpoint tail from disk without touching the
+            original source.  When a checkpoint manager is also
+            attached, each periodic checkpoint is followed by a WAL
+            ``sync()`` and a compaction down to the manager's
+            ``retention_floor``; a :class:`~repro.errors.DiskFullError`
+            on the append path triggers the documented recovery action
+            automatically — checkpoint, compact, retry once.
 
     An :class:`~repro.resilience.guard.IngestGuard` passed as the
     ``source`` is wired in automatically: with metrics enabled it gets
@@ -179,6 +191,7 @@ class StreamEngine:
         metrics: Metrics | None = None,
         checkpoint: "CheckpointManager | None" = None,
         backpressure: "BackpressureQueue | None" = None,
+        wal: "WriteAheadLog | None" = None,
     ) -> None:
         if not monitors:
             raise InvalidParameterError("at least one monitor is required")
@@ -192,6 +205,7 @@ class StreamEngine:
         self.metrics = metrics
         self.checkpoint = checkpoint
         self.backpressure = backpressure
+        self.wal = wal
         self._scopes: Dict[str, Metrics] = {}
         self._session: "_RunState | None" = None
         self._torn_down = False
@@ -210,6 +224,10 @@ class StreamEngine:
                 scope = metrics.scope("backpressure")
                 backpressure.metrics = scope
                 self._scopes["backpressure"] = scope
+            if wal is not None:
+                scope = metrics.scope("wal")
+                wal.metrics = scope
+                self._scopes["wal"] = scope
 
     def _next_batch(self, size: int) -> list[SpatialObject]:
         batch: list[SpatialObject] = []
@@ -471,6 +489,8 @@ class _RunState:
 
     def apply(self, batch: list[SpatialObject]) -> None:
         engine = self.engine
+        if engine.wal is not None:
+            self._journal(batch)
         self.batch_sizes.append(len(batch))
         for name, monitor in engine.monitors.items():
             start = time.perf_counter()
@@ -487,7 +507,29 @@ class _RunState:
                 self.batch_metrics[name].append(snap.delta(self.previous[name]))
                 self.previous[name] = snap
         if engine.checkpoint is not None:
-            engine.checkpoint.note_batch()
+            wrote = engine.checkpoint.note_batch()
+            if wrote and engine.wal is not None:
+                # the checkpoint is durable; seal the WAL up to here and
+                # drop segments no retained checkpoint can still need
+                engine.wal.sync()
+                engine.wal.compact(engine.checkpoint.retention_floor)
+
+    def _journal(self, batch: list[SpatialObject]) -> None:
+        """Append-before-apply: the batch is on disk before any monitor
+        mutates, so a crash anywhere in the update leaves a replayable
+        record.  ``ENOSPC`` runs the documented recovery action inline:
+        take a checkpoint, compact the segments it covers, retry once.
+        """
+        engine = self.engine
+        try:
+            engine.wal.append_batch(batch)
+        except DiskFullError:
+            if engine.checkpoint is None:
+                raise
+            engine.checkpoint.checkpoint()
+            engine.wal.compact(engine.checkpoint.retention_floor)
+            engine.wal.metrics.inc("wal_enospc_recoveries")
+            engine.wal.append_batch(batch)
 
     def report(
         self,

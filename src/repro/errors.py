@@ -8,6 +8,8 @@ propagate.
 
 from __future__ import annotations
 
+import errno as _errno
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -57,6 +59,78 @@ class CheckpointChecksumError(SnapshotError):
     payload checksum stored in the envelope.  Recovery code treats it
     like any other :class:`SnapshotError` and falls back to the
     previous rotation.
+    """
+
+
+class DurabilityError(ReproError):
+    """Base class for durable-storage failures (WAL, checkpoint media).
+
+    Everything the durability tier raises intentionally derives from
+    this class, so recovery orchestration can catch disk-level trouble
+    in one clause while index bugs still propagate.
+    """
+
+
+class DurableWriteError(DurabilityError):
+    """A durable write (WAL append, checkpoint publish) failed at the OS.
+
+    Wraps the underlying ``OSError`` (chained as ``__cause__``) so
+    callers never have to catch a bare ``OSError`` from the durability
+    tier; ``errno`` is preserved for dispatching on the cause.
+    """
+
+    def __init__(self, message: str, *, errno: int | None = None) -> None:
+        super().__init__(message)
+        self.errno = errno
+
+
+class DiskFullError(DurableWriteError):
+    """A durable write failed with ``ENOSPC``.
+
+    Distinguished from other :class:`DurableWriteError` causes because
+    it is the one a caller can *act* on without operator intervention:
+    checkpoint, compact the WAL's covered segments, and retry.
+    """
+
+
+def wrap_os_error(exc: OSError, what: str) -> DurableWriteError:
+    """Map an ``OSError`` from a durable write to its typed form.
+
+    ``ENOSPC`` becomes :class:`DiskFullError` (the caller can free
+    space by compacting and retry); everything else becomes a plain
+    :class:`DurableWriteError`.  Callers re-raise the result with
+    ``from exc`` so the original is chained.
+    """
+    if exc.errno == _errno.ENOSPC:
+        return DiskFullError(
+            f"{what} failed: no space left on device", errno=exc.errno
+        )
+    return DurableWriteError(f"{what} failed: {exc}", errno=exc.errno)
+
+
+class WalError(DurabilityError):
+    """Base class for write-ahead-log failures."""
+
+
+class WalCorruptionError(WalError):
+    """A WAL segment is damaged beyond the recovery skip budget.
+
+    Individual bit-flipped records (CRC mismatch) and a torn tail are
+    *recoverable* — the scanner skips or truncates them and counts the
+    damage — but more skipped records than ``max_skips`` means the log
+    itself cannot be trusted, and recovery must stop with this error
+    rather than silently replay a hole-ridden history.
+    """
+
+
+class WalSequenceError(WalError):
+    """WAL contents and the checkpoint position cannot be reconciled.
+
+    Raised when the replay tail has a hole (a batch newer than the
+    checkpoint was lost to corruption or truncation) or when the
+    checkpoint claims a position beyond anything the log ever recorded
+    — either way the WAL cannot reproduce the uninterrupted run, and a
+    typed error beats a silently wrong answer.
     """
 
 

@@ -204,7 +204,7 @@ class BackpressureQueue:
         self.metrics.set_gauge("queue_depth", len(items))
         return batch
 
-    def spill(self) -> int:
+    def spill(self, wal=None) -> int:
         """Drop everything pending, keeping the ledger closed.
 
         Models a crash of the consumer tier taking its in-flight buffer
@@ -212,14 +212,51 @@ class BackpressureQueue:
         — an explicit ledger bucket, not a silent leak — and the count
         is returned.  The queue itself (counters, capacity, policy)
         keeps serving.
+
+        When a :class:`~repro.durability.wal.WriteAheadLog` is passed,
+        the buffer is journalled (a ``spill`` record at the WAL's
+        current batch index, force-synced) before being dropped — the
+        crash loses nothing, and recovery re-queues the spilled objects
+        via :meth:`restore_spilled`.  An *empty* spill is journalled
+        too: the record marks which crash is newest, so recovery never
+        restores a stale buffer from an earlier incident.
         """
         lost = len(self._items)
+        if wal is not None:
+            wal.log_spill(list(self._items), index=wal.last_index)
         if lost:
             self._items.clear()
             self.spilled += lost
             self.metrics.inc("spilled_objects", lost)
             self.metrics.set_gauge("queue_depth", 0)
         return lost
+
+    def restore_spilled(self, objects: Sequence[SpatialObject]) -> int:
+        """Re-queue objects recovered from a journalled spill.
+
+        The inverse bookkeeping of :meth:`spill`: the objects move from
+        ``spilled`` back to ``pending`` without touching ``offered`` —
+        they were already offered (and admitted) once, so re-offering
+        them would double-count and break :attr:`ledger_closed`.  Only
+        as many objects as the ``spilled`` bucket holds can be
+        restored; more means the WAL and this queue disagree about
+        history, which is a caller bug.
+        """
+        count = len(objects)
+        if count == 0:
+            return 0
+        if count > self.spilled:
+            raise InvalidParameterError(
+                f"cannot restore {count} spilled objects; ledger only "
+                f"records {self.spilled} as spilled"
+            )
+        self._items.extend(objects)
+        self.spilled -= count
+        self.metrics.inc("restored_spilled_objects", count)
+        self.metrics.set_gauge("queue_depth", len(self._items))
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+        return count
 
     def drain(self, batch_size: int) -> Iterable[Sequence[SpatialObject]]:
         """Yield coalesced batches until the queue is empty."""

@@ -7,19 +7,32 @@ taken).  Recovery is then exactly two steps:
 1. load the last complete checkpoint (:func:`CheckpointManager.load`) —
    atomic writes guarantee the file on disk is always a complete
    document, never a torn write;
-2. replay the tail: re-feed the batches after the recorded position
-   (stream sources in this library are deterministic and replayable),
+2. replay the tail: re-feed the batches after the recorded position,
    which reproduces the uninterrupted run bit-for-bit because the
    indexes are pure functions of the arrival sequence.
 
+The replay tail can come from two places.  A deterministic, replayable
+source can simply be re-read.  For live streams — the paper's actual
+setting, where an arrival is gone once consumed — the tail comes from
+the write-ahead log instead (:mod:`repro.durability`), which journals
+every admitted batch before it reaches the compute tier.  The manager
+exposes :attr:`CheckpointManager.retention_floor` so WAL compaction
+never deletes a segment some retained checkpoint might still need.
+
 The manager also keeps a bounded history of previous checkpoints
 (``keep``), so a checkpoint corrupted *after* being written (disk
-fault) still leaves an older recovery point behind.
+fault) still leaves an older recovery point behind.  The write order
+makes ``ENOSPC`` safe: the new document is written and fsynced to a
+temporary file *before* the history is rotated, so a full disk raises
+:class:`~repro.errors.DiskFullError` with every previous checkpoint
+still readable in place.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import zlib
 from pathlib import Path
 from typing import Any
@@ -30,6 +43,7 @@ from repro.errors import (
     CheckpointChecksumError,
     InvalidParameterError,
     SnapshotError,
+    wrap_os_error,
 )
 from repro.obs.metrics import NULL_METRICS, Metrics
 
@@ -107,6 +121,11 @@ class CheckpointManager:
         self.metrics = metrics
         self.batch_index = 0  # arrival batches consumed so far
         self.checkpoints_written = 0
+        self._fsync = os.fsync  # injectable for disk-fault tests
+        # positions (batch indexes) of the retained checkpoints on
+        # disk, newest first — scanned so a manager constructed over an
+        # existing directory still knows what its rotations cover
+        self.positions: list[int] = self._scan_positions()
 
     # -- writing -----------------------------------------------------------
 
@@ -123,7 +142,16 @@ class CheckpointManager:
         return False
 
     def checkpoint(self) -> Path:
-        """Write the current state atomically, rotating history."""
+        """Write the current state atomically, rotating history.
+
+        The new document reaches stable storage (mkstemp + fsync in the
+        target directory) *before* the rotation touches any existing
+        file, so a disk failure mid-write — ``ENOSPC`` included —
+        leaves every previously retained checkpoint readable in place
+        and raises a typed :class:`~repro.errors.DurableWriteError`
+        (:class:`~repro.errors.DiskFullError` for a full disk), never a
+        bare ``OSError``.
+        """
         state = persist.snapshot(_snapshot_target(self._monitor))
         document = {
             "format": _CHECKPOINT_FORMAT,
@@ -131,8 +159,31 @@ class CheckpointManager:
             "state": state,
             "crc32": _payload_crc(self.batch_index, state),
         }
-        self._rotate()
-        persist.atomic_write_json(self.path, document)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent or Path("."),
+            prefix=self.path.name,
+            suffix=".tmp",
+        )
+        try:
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(document, fh)
+                    fh.flush()
+                    self._fsync(fh.fileno())
+                # the new checkpoint is durable; only now disturb history
+                self._rotate()
+                os.replace(tmp_name, self.path)
+            except OSError as exc:
+                raise wrap_os_error(exc, "checkpoint write") from exc
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.positions = ([self.batch_index] + self.positions)[
+            : self.keep + 1
+        ]
         self.checkpoints_written += 1
         self.metrics.inc("checkpoints_written")
         self.metrics.set_gauge("checkpoint_batch_index", self.batch_index)
@@ -150,6 +201,51 @@ class CheckpointManager:
             if src.exists():
                 src.replace(self.path.with_name(f"{self.path.name}.{slot + 1}"))
         self.path.replace(self.path.with_name(f"{self.path.name}.1"))
+
+    # -- retention ---------------------------------------------------------
+
+    def _scan_positions(self) -> list[int]:
+        """Batch indexes of the checkpoints already on disk, newest first.
+
+        Unreadable files are skipped — a checkpoint that cannot be
+        parsed can never be a recovery target, so it does not constrain
+        WAL retention either.
+        """
+        candidates = [self.path]
+        slot = 1
+        while True:
+            rotated = self.path.with_name(f"{self.path.name}.{slot}")
+            if not rotated.exists():
+                break
+            candidates.append(rotated)
+            slot += 1
+        found: list[int] = []
+        for candidate in candidates:
+            if not candidate.exists():
+                continue
+            try:
+                document = persist.read_json(candidate)
+                found.append(int(document["batch_index"]))
+            except (SnapshotError, InvalidParameterError, KeyError,
+                    TypeError, ValueError):
+                continue
+        return sorted(found, reverse=True)
+
+    @property
+    def retention_floor(self) -> int:
+        """Oldest position any retained checkpoint could recover to.
+
+        WAL compaction must use *this* — not the newest position —
+        because :meth:`recover` falls back through the rotation history
+        and the oldest readable rotation still needs its replay tail.
+        Zero (retain everything) when no checkpoint exists yet.
+        """
+        return min(self.positions) if self.positions else 0
+
+    @property
+    def last_position(self) -> int:
+        """Position of the newest checkpoint written or found on disk."""
+        return max(self.positions) if self.positions else 0
 
     # -- recovery ----------------------------------------------------------
 

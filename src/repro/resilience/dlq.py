@@ -12,16 +12,41 @@ from network reordering (``late`` records) at a glance.
 
 from __future__ import annotations
 
+import json
+import os
 from collections import Counter as TallyCounter
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Deque, Iterator
+from pathlib import Path
+from typing import Any, Deque, Iterator
 
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, wrap_os_error
 from repro.obs.metrics import NULL_METRICS, Metrics
 
 __all__ = ["ErrorPolicy", "DeadLetter", "DeadLetterQueue"]
+
+
+def _letter_doc(letter: "DeadLetter") -> dict[str, Any]:
+    """JSON-able view of one dead letter.
+
+    The record field is arbitrary — a raw payload, a tuple, a
+    :class:`~repro.core.objects.SpatialObject` — so anything JSON
+    cannot carry verbatim is stored as its ``repr`` instead of failing
+    the drain (the audit trail must be best-effort complete, not
+    type-perfect).
+    """
+    record: Any = letter.record
+    try:
+        json.dumps(record)
+    except (TypeError, ValueError):
+        record = repr(record)
+    return {
+        "record": record,
+        "reason": letter.reason,
+        "detail": letter.detail,
+        "seq": letter.seq,
+    }
 
 
 class ErrorPolicy(Enum):
@@ -115,6 +140,40 @@ class DeadLetterQueue:
         self._entries.clear()
         self.metrics.set_gauge("dead_letter_depth", 0)
         return out
+
+    def drain_to_jsonl(self, path: "str | Path") -> int:
+        """Drain retained entries, *appending* them to a JSONL file.
+
+        Quarantine evidence survives a crash-restart this way: each
+        drained entry becomes one JSON line (append-only, fsynced), so
+        repeated drains across process incarnations accumulate into a
+        single durable audit trail instead of replacing it.  Returns
+        the number of entries written; an empty queue touches nothing.
+
+        A disk failure mid-write raises a typed
+        :class:`~repro.errors.DurableWriteError`
+        (:class:`~repro.errors.DiskFullError` for ``ENOSPC``) and the
+        entries stay queued — evidence is only dropped once it is on
+        disk.
+        """
+        if not self._entries:
+            return 0
+        lines = [
+            json.dumps(_letter_doc(letter), sort_keys=True)
+            for letter in self._entries
+        ]
+        try:
+            with open(path, "a") as fh:
+                fh.write("\n".join(lines) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            raise wrap_os_error(exc, "dead-letter drain") from exc
+        count = len(lines)
+        self._entries.clear()
+        self.metrics.inc("dead_letters_persisted", count)
+        self.metrics.set_gauge("dead_letter_depth", 0)
+        return count
 
     def counts_by_reason(self) -> dict[str, int]:
         """Lifetime rejection tallies per reason (eviction-proof)."""

@@ -23,6 +23,7 @@ are retried with exponential backoff before giving up.
 
 from __future__ import annotations
 
+import random
 import time
 import types
 from typing import Callable, Iterator, Sequence, Type
@@ -31,6 +32,7 @@ from repro.core.monitor import MaxRSMonitor
 from repro.core.objects import SpatialObject
 from repro.core.spaces import MaxRSResult
 from repro.errors import (
+    InvalidParameterError,
     InvariantViolationError,
     SourceRetryExhaustedError,
     UnrecoverableMonitorError,
@@ -233,7 +235,25 @@ class RetryingSource(StreamSource):
             them raises :class:`SourceRetryExhaustedError`.
         base_delay: First backoff sleep, seconds.
         backoff: Multiplier applied per consecutive failure.
-        sleep: Injectable clock for tests (defaults to ``time.sleep``).
+        jitter: Fraction of each backoff sleep that is randomised, in
+            ``[0, 1]``.  ``0`` keeps the classic deterministic ladder;
+            ``1`` is *full jitter* — the sleep is uniform in
+            ``[0, delay]`` — which de-synchronises a fleet of retriers
+            hammering one recovering upstream.
+        max_elapsed: Cap, in seconds, on the total time one record may
+            spend in its retry loop; once exceeded the loop gives up
+            with :class:`SourceRetryExhaustedError` even if attempts
+            remain (None = attempts are the only budget).
+        sleep: Injectable sleeper for tests (defaults to ``time.sleep``).
+        rng: Injectable uniform-[0,1) generator for the jitter (defaults
+            to :func:`random.random`); seed a ``random.Random`` and pass
+            its ``.random`` for reproducible schedules.
+        clock: Injectable monotonic clock for the ``max_elapsed``
+            budget (defaults to :func:`time.monotonic`).
+        metrics: Registry scope; retry behaviour is observable without
+            timing sleeps — counters ``source_retries``,
+            ``source_resets``, ``source_retry_gave_up`` and the
+            ``source_retry_sleep_s`` histogram.
     """
 
     def __init__(
@@ -244,18 +264,35 @@ class RetryingSource(StreamSource):
         max_retries: int = 3,
         base_delay: float = 0.05,
         backoff: float = 2.0,
+        jitter: float = 0.0,
+        max_elapsed: float | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        rng: Callable[[], float] | None = None,
+        clock: Callable[[], float] = time.monotonic,
         metrics: Metrics = NULL_METRICS,
     ) -> None:
+        if not 0.0 <= jitter <= 1.0:
+            raise InvalidParameterError(
+                f"jitter must be in [0, 1], got {jitter}"
+            )
+        if max_elapsed is not None and max_elapsed <= 0:
+            raise InvalidParameterError(
+                f"max_elapsed must be positive, got {max_elapsed}"
+            )
         self._source = source
         self.retry_on = retry_on
         self.max_retries = max(0, int(max_retries))
         self.base_delay = base_delay
         self.backoff = backoff
+        self.jitter = float(jitter)
+        self.max_elapsed = max_elapsed
         self._sleep = sleep
+        self._rng = rng if rng is not None else random.random
+        self._clock = clock
         self.metrics = metrics
         self.retries = 0  # transient failures retried
         self.resets = 0  # iterator rebuilds (generator sources)
+        self.gave_up = 0  # retry loops that exhausted their budget
 
     def __iter__(self) -> Iterator[SpatialObject]:
         iterator = iter(self._source)
@@ -263,6 +300,7 @@ class RetryingSource(StreamSource):
         while True:
             attempts = 0
             delay = self.base_delay
+            started: float | None = None
             while True:
                 try:
                     obj = next(iterator)
@@ -270,19 +308,44 @@ class RetryingSource(StreamSource):
                 except StopIteration:
                     return
                 except self.retry_on as exc:
+                    now = self._clock()
+                    if started is None:
+                        started = now
                     attempts += 1
                     self.retries += 1
                     self.metrics.inc("source_retries")
                     if attempts > self.max_retries:
+                        self._give_up()
                         raise SourceRetryExhaustedError(
                             f"source still failing after {self.max_retries} "
                             f"retries: {exc}"
                         ) from exc
-                    self._sleep(delay)
+                    if (
+                        self.max_elapsed is not None
+                        and now - started >= self.max_elapsed
+                    ):
+                        self._give_up()
+                        raise SourceRetryExhaustedError(
+                            f"source still failing after "
+                            f"{now - started:.3f}s, past the max_elapsed "
+                            f"budget of {self.max_elapsed}s: {exc}"
+                        ) from exc
+                    pause = delay
+                    if self.jitter:
+                        # full jitter at 1.0: uniform in [0, delay]
+                        pause = delay * (
+                            (1.0 - self.jitter) + self.jitter * self._rng()
+                        )
+                    self.metrics.observe("source_retry_sleep_s", pause)
+                    self._sleep(pause)
                     delay *= self.backoff
                     iterator = self._reset(iterator, delivered)
             delivered += 1
             yield obj
+
+    def _give_up(self) -> None:
+        self.gave_up += 1
+        self.metrics.inc("source_retry_gave_up")
 
     def _reset(
         self, iterator: Iterator[SpatialObject], delivered: int

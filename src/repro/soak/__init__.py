@@ -12,8 +12,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.soak.harness import SoakReport, run_soak
     from repro.soak.injectors import (
         CORRUPTION_MODES,
+        WAL_CORRUPTION_MODES,
         ClockSkewSource,
+        NonReplayableSource,
         corrupt_checkpoint,
+        corrupt_wal,
     )
     from repro.soak.invariants import InvariantMonitor
     from repro.soak.report import ReportBase
@@ -27,14 +30,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "CORRUPTION_MODES",
+    "WAL_CORRUPTION_MODES",
     "ClockSkewSource",
     "InvariantMonitor",
+    "NonReplayableSource",
     "Phase",
     "ReportBase",
     "SCENARIOS",
     "Scenario",
     "SoakReport",
     "corrupt_checkpoint",
+    "corrupt_wal",
     "get_scenario",
     "list_scenarios",
     "run_soak",
@@ -42,8 +48,11 @@ __all__ = [
 
 _HOMES = {
     "CORRUPTION_MODES": "repro.soak.injectors",
+    "WAL_CORRUPTION_MODES": "repro.soak.injectors",
     "ClockSkewSource": "repro.soak.injectors",
+    "NonReplayableSource": "repro.soak.injectors",
     "corrupt_checkpoint": "repro.soak.injectors",
+    "corrupt_wal": "repro.soak.injectors",
     "InvariantMonitor": "repro.soak.invariants",
     "ReportBase": "repro.soak.report",
     "Phase": "repro.soak.scenario",

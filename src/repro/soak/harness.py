@@ -28,6 +28,7 @@ CLI and the CI soak-smoke job are thin wrappers over this function.
 
 from __future__ import annotations
 
+import errno
 import itertools
 import tempfile
 from dataclasses import dataclass, field
@@ -37,6 +38,8 @@ from typing import Dict, List, Sequence, Tuple
 from repro.core.ag2 import AG2Monitor
 from repro.core.objects import SpatialObject
 from repro.datasets import make_stream
+from repro.durability.recovery import reconcile, scan_wal
+from repro.durability.wal import WriteAheadLog
 from repro.engine.engine import StreamEngine
 from repro.engine.parallel import ParallelQueryGroup
 from repro.errors import InvalidParameterError, SnapshotError
@@ -47,7 +50,12 @@ from repro.overload.controller import AdaptiveMonitor, DeadlineController
 from repro.resilience.chaos import FaultInjectingSource
 from repro.resilience.checkpoint import CheckpointManager
 from repro.resilience.guard import ErrorPolicy, IngestGuard
-from repro.soak.injectors import ClockSkewSource, corrupt_checkpoint
+from repro.soak.injectors import (
+    ClockSkewSource,
+    NonReplayableSource,
+    corrupt_checkpoint,
+    corrupt_wal,
+)
 from repro.soak.invariants import InvariantMonitor
 from repro.soak.report import ReportBase
 from repro.soak.scenario import Phase, Scenario, get_scenario
@@ -118,6 +126,19 @@ class SoakReport(ReportBase):
     watermark_checks: int
     guarantee_checks: int
     convergence_checks: int
+    # durability (WAL) campaign — all zero/defaults for WAL-less runs
+    wal_enabled: bool = False
+    source_replayable: bool = True
+    wal_appends: int = 0
+    wal_fsyncs: int = 0
+    wal_replayed_batches: int = 0
+    wal_truncated_tails: int = 0
+    wal_skipped_records: int = 0
+    wal_segments_compacted: int = 0
+    wal_spill_restored: int = 0
+    enospc_injected: int = 0
+    enospc_recovered: int = 0
+    recovery_source_reads: int = 0
     violations: List[Dict[str, object]] = field(default_factory=list)
     phases: List[Dict[str, object]] = field(default_factory=list)
 
@@ -180,6 +201,18 @@ class SoakReport(ReportBase):
             ("watermark checks", self.watermark_checks),
             ("guarantee checks", self.guarantee_checks),
             ("convergence checks", self.convergence_checks),
+            ("wal enabled", self.wal_enabled),
+            ("source replayable", self.source_replayable),
+            ("wal appends", self.wal_appends),
+            ("wal fsyncs", self.wal_fsyncs),
+            ("wal replayed batches", self.wal_replayed_batches),
+            ("wal truncated tails", self.wal_truncated_tails),
+            ("wal skipped records", self.wal_skipped_records),
+            ("wal segments compacted", self.wal_segments_compacted),
+            ("wal spill restored", self.wal_spill_restored),
+            ("enospc injected", self.enospc_injected),
+            ("enospc recovered", self.enospc_recovered),
+            ("recovery source reads", self.recovery_source_reads),
             ("violations", len(self.violations)),
             ("soak passed", self.ok),
         ]
@@ -200,6 +233,7 @@ class _SoakRun:
         seed: int,
         verify_checksum: bool,
         checkpoint_dir: Path,
+        wal_dir: Path | None = None,
     ) -> None:
         scn = self.scenario = scenario
         self.seed = seed
@@ -208,7 +242,28 @@ class _SoakRun:
         self.metrics = Metrics("soak")
         self.ckpt_scope = self.metrics.scope("checkpoint")
 
-        self.base = iter(make_stream(scn.dataset, domain=scn.domain, seed=seed))
+        stream = make_stream(scn.dataset, domain=scn.domain, seed=seed)
+        self.source: NonReplayableSource | None = None
+        if not scn.source_replayable:
+            # once wrapped, any source touch during recovery is counted
+            # and a re-iteration refused — zero-source-read recovery is
+            # asserted, not assumed
+            self.source = NonReplayableSource(stream)
+            stream = self.source
+        self.base = iter(stream)
+        self.wal: WriteAheadLog | None = None
+        self.wal_dir: Path | None = None
+        if scn.wal:
+            self.wal_dir = (
+                wal_dir
+                if wal_dir is not None
+                else checkpoint_dir / f"{scn.name}.wal"
+            )
+            self.wal = WriteAheadLog(
+                self.wal_dir,
+                fsync=scn.wal_fsync,
+                segment_records=scn.wal_segment_records,
+            )
         self.guard = IngestGuard(
             policy=ErrorPolicy.QUARANTINE,
             max_lateness=scn.max_lateness,
@@ -244,6 +299,7 @@ class _SoakRun:
             batch_size=scn.rate,
             metrics=self.metrics,
             checkpoint=self.manager,
+            wal=self.wal,
         )
         self.invariants = InvariantMonitor(
             guard=self.guard,
@@ -268,6 +324,17 @@ class _SoakRun:
         self.cold_starts = 0
         self.replayed = 0
         self.kills = 0
+        # WAL counters banked across log incarnations (each crash
+        # closes the log; the reopened instance restarts its counters)
+        self.wal_appends = 0
+        self.wal_fsyncs = 0
+        self.wal_truncated = 0
+        self.wal_skipped = 0
+        self.wal_compacted = 0
+        self.wal_replayed = 0
+        self.spill_restored = 0
+        self.enospc_injected = 0
+        self.recovery_source_reads = 0
         self.tallies = {
             "drops": 0,
             "duplicates": 0,
@@ -308,6 +375,11 @@ class _SoakRun:
         prime = self.prime = list(itertools.islice(self.base, scn.window))
         self.adaptive.ingest(prime)
         self.reference.push(prime)
+        if self.wal is not None:
+            # a prime checkpoint at position 0 makes even the worst
+            # recovery (every later checkpoint unreadable) source-free:
+            # the fallback ladder bottoms out here, never at the stream
+            self.manager.checkpoint()
         if scn.workers > 0:
             self.group = ParallelQueryGroup(
                 workers=scn.workers, snapshot_every=scn.snapshot_every
@@ -384,6 +456,8 @@ class _SoakRun:
         for tick, count in enumerate(arrivals):
             if phase.crash_at == tick:
                 self._crash_and_recover(phase)
+            if phase.enospc_at == tick and self.wal is not None:
+                self._arm_enospc()
             for kill_tick, shard in phase.worker_kills:
                 if kill_tick == tick and self.group is not None:
                     self.group.kill_worker(shard)
@@ -424,12 +498,33 @@ class _SoakRun:
             }
         )
 
+    def _arm_enospc(self) -> None:
+        """One-shot ENOSPC on the next WAL append.
+
+        The engine's journal path must absorb it inline: checkpoint,
+        compact to the new retention floor, retry the append — counted
+        by the ``wal_enospc_recoveries`` metric the report exposes.
+        """
+        wal = self.wal
+        assert wal is not None
+
+        def hook(op: str) -> None:
+            if op == "append":
+                wal.fault_hook = None
+                self.enospc_injected += 1
+                raise OSError(errno.ENOSPC, "No space left on device")
+
+        wal.fault_hook = hook
+
     def _crash_and_recover(self, phase: Phase) -> None:
         """Tear the compute tier down mid-run, then restore it from the
         newest readable checkpoint and replay the tail."""
         self.crashes += 1
         self._bank_ladder(self.adaptive)
         self.engine.teardown()
+        if self.wal is not None:
+            self._recover_from_wal(phase)
+            return
         self.queue.spill()  # the consumer's in-flight buffer dies with it
         if phase.corrupt is not None and self.ckpt_path.exists():
             corrupt_checkpoint(self.ckpt_path, phase.corrupt)
@@ -464,6 +559,98 @@ class _SoakRun:
             where="post-recovery replay",
             require_exact_mode=False,
         )
+
+    def _recover_from_wal(self, phase: Phase) -> None:
+        """Crash + recovery with the log: checkpoint + WAL-tail replay,
+        never a source read.
+
+        The in-flight buffer is journalled before it dies, the log is
+        damaged as the phase dictates (between incarnations, as real
+        corruption lands), and the rebuilt monitor is fed only from
+        disk: checkpointed window contents, then the reconciled batch
+        tail, then the spill back into the queue.  A non-replayable
+        source makes any deviation from that contract a violation.
+        """
+        scn = self.scenario
+        wal = self.wal
+        assert wal is not None and self.wal_dir is not None
+        self.queue.spill(wal=wal)  # journalled, then dies with the tier
+        self._bank_wal(wal)
+        wal.close()
+        if phase.corrupt is not None and self.ckpt_path.exists():
+            corrupt_checkpoint(self.ckpt_path, phase.corrupt)
+        for mode in phase.wal_corrupt:
+            corrupt_wal(self.wal_dir, mode)
+        reads_before = self.source.reads if self.source is not None else 0
+        contents: List[SpatialObject] = []
+        position = 0
+        try:
+            snapshot, position = CheckpointManager.recover(
+                self.ckpt_path,
+                metrics=self.ckpt_scope,
+                verify_checksum=self.verify_checksum,
+            )
+            contents = list(snapshot.window.contents)
+            self.recoveries += 1
+        except (SnapshotError, InvalidParameterError):
+            # even this bottom rung reads no source: the primed window
+            # was retained in memory and the prime checkpoint exists on
+            # disk precisely so position 0 is always reachable
+            contents = self.prime
+            self.cold_starts += 1
+        # reopen first (truncating any torn tail on disk), then scan the
+        # now-consistent log and reconcile it against the checkpoint
+        self.wal = WriteAheadLog(
+            self.wal_dir,
+            fsync=scn.wal_fsync,
+            segment_records=scn.wal_segment_records,
+        )
+        self.wal.metrics = self.metrics.scope("wal")
+        scan = scan_wal(self.wal_dir)
+        tail = reconcile(scan, position)
+        self.wal_skipped += len(scan.skipped)
+        self.adaptive = self._make_adaptive()
+        if contents:
+            self.adaptive.ingest(contents)
+        for _index, objects in tail.batches:
+            self.adaptive.update(objects)
+        self.replayed += len(tail.batches)
+        self.wal_replayed += len(tail.batches)
+        self.wal.note_recovered(scan.last_index)
+        self.engine.wal = self.wal
+        self.spill_restored += self.queue.restore_spilled(tail.spill)
+        if scan.last_index != len(self.applied):
+            self.invariants._violate(
+                phase.name,
+                "wal_replay_divergence",
+                f"WAL last index {scan.last_index} disagrees with the "
+                f"{len(self.applied)} batches actually applied",
+            )
+        self.manager.resume(self.adaptive, len(self.applied))
+        self.engine.restore({_MONITOR: self.adaptive})
+        if self.source is not None:
+            delta = self.source.reads - reads_before
+            if delta:
+                self.recovery_source_reads += delta
+                self.invariants._violate(
+                    phase.name,
+                    "source_read_during_recovery",
+                    f"recovery consumed {delta} records from a "
+                    f"non-replayable source",
+                )
+        self.invariants.check_convergence(
+            phase.name,
+            self.adaptive,
+            self.reference,
+            where="post-recovery WAL replay",
+            require_exact_mode=False,
+        )
+
+    def _bank_wal(self, wal: WriteAheadLog) -> None:
+        self.wal_appends += wal.appends
+        self.wal_fsyncs += wal.fsyncs
+        self.wal_truncated += wal.torn_tails_truncated
+        self.wal_compacted += wal.segments_compacted
 
     def _bank_ladder(self, monitor: AdaptiveMonitor) -> None:
         self.transitions += len(monitor.transitions)
@@ -500,8 +687,12 @@ class _SoakRun:
                 require_exact_mode=False,
             )
             self._bank_ladder(self.adaptive)
+            if self.wal is not None:
+                self._bank_wal(self.wal)
             return self._report()
         finally:
+            if self.wal is not None:
+                self.wal.close()
             if self.group is not None:
                 self.group.close()
             if self.twin is not None:
@@ -561,6 +752,22 @@ class _SoakRun:
             watermark_checks=inv.watermark_checks,
             guarantee_checks=inv.guarantee_checks,
             convergence_checks=inv.convergence_checks,
+            wal_enabled=self.wal is not None,
+            source_replayable=self.scenario.source_replayable,
+            wal_appends=self.wal_appends,
+            wal_fsyncs=self.wal_fsyncs,
+            wal_replayed_batches=self.wal_replayed,
+            wal_truncated_tails=self.wal_truncated,
+            wal_skipped_records=self.wal_skipped,
+            wal_segments_compacted=self.wal_compacted,
+            wal_spill_restored=self.spill_restored,
+            enospc_injected=self.enospc_injected,
+            enospc_recovered=int(
+                self.metrics.scope("wal")
+                .counter("wal_enospc_recoveries")
+                .value
+            ),
+            recovery_source_reads=self.recovery_source_reads,
             violations=list(inv.violations),
             phases=self.phase_stats,
         )
@@ -572,13 +779,14 @@ def run_soak(
     seed: int | None = None,
     verify_checksum: bool = True,
     checkpoint_dir: str | Path | None = None,
+    wal_dir: str | Path | None = None,
 ) -> SoakReport:
     """Run one soak scenario end to end and report on it.
 
     Args:
         scenario: A :class:`~repro.soak.scenario.Scenario`, or the name
             of a committed one (``smoke``, ``dirty_overload``,
-            ``crash_recovery``, ``worker_churn``).
+            ``crash_recovery``, ``worker_churn``, ``wal_recovery``).
         seed: Overrides the scenario's seed (same scenario + same seed
             ⇒ identical report).
         verify_checksum: Forwarded to checkpoint recovery.  Disabling it
@@ -588,17 +796,21 @@ def run_soak(
             the previous rotation and the run passes.
         checkpoint_dir: Where checkpoint files live; a temporary
             directory (removed afterwards) when omitted.
+        wal_dir: Where WAL segments live, for scenarios with the log
+            enabled (ignored otherwise); defaults to a
+            ``<scenario>.wal`` directory beside the checkpoints.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     resolved_seed = scenario.seed if seed is None else int(seed)
+    log_dir = Path(wal_dir) if wal_dir is not None else None
     if checkpoint_dir is not None:
         workdir = Path(checkpoint_dir)
         workdir.mkdir(parents=True, exist_ok=True)
         return _SoakRun(
-            scenario, resolved_seed, verify_checksum, workdir
+            scenario, resolved_seed, verify_checksum, workdir, log_dir
         ).execute()
     with tempfile.TemporaryDirectory(prefix="maxrs-soak-") as tmp:
         return _SoakRun(
-            scenario, resolved_seed, verify_checksum, Path(tmp)
+            scenario, resolved_seed, verify_checksum, Path(tmp), log_dir
         ).execute()

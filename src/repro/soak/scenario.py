@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 from repro.errors import InvalidParameterError
-from repro.soak.injectors import CORRUPTION_MODES
+from repro.soak.injectors import CORRUPTION_MODES, WAL_CORRUPTION_MODES
 
 __all__ = [
     "Phase",
@@ -59,6 +59,16 @@ class Phase:
         corrupt: Damage the latest checkpoint file (``torn`` /
             ``bitflip``) right before that recovery — the fallback path
             must skip to the previous rotation.
+        wal_corrupt: WAL damage modes (``torn_tail`` /
+            ``partial_append`` / ``bitflip``, see
+            :func:`~repro.soak.injectors.corrupt_wal`) applied to the
+            log between the crash and the recovery — replay must
+            truncate / skip around them and still re-converge exactly
+            (needs ``Scenario.wal`` and a ``crash_at``).
+        enospc_at: Tick at which a one-shot ``ENOSPC`` fault is armed
+            on the WAL append path; the engine's inline recovery
+            (checkpoint, compact, retry) must absorb it without losing
+            a batch (needs ``Scenario.wal``).
         worker_kills: ``(tick, shard)`` pairs: kill that shard's worker
             process at that tick (needs ``Scenario.workers > 0``).
         verify_convergence: Assert exact re-convergence (window contents
@@ -84,6 +94,8 @@ class Phase:
     skew_amount: float = 0.0
     crash_at: int | None = None
     corrupt: str | None = None
+    wal_corrupt: Tuple[str, ...] = ()
+    enospc_at: int | None = None
     worker_kills: Tuple[Tuple[int, int], ...] = ()
     verify_convergence: bool = False
 
@@ -131,6 +143,24 @@ class Phase:
                     f"{self.corrupt!r}; choose from "
                     f"{', '.join(CORRUPTION_MODES)}"
                 )
+        if self.wal_corrupt:
+            if self.crash_at is None:
+                raise InvalidParameterError(
+                    f"phase {self.name!r}: wal_corrupt needs a crash_at "
+                    "to recover from"
+                )
+            for mode in self.wal_corrupt:
+                if mode not in WAL_CORRUPTION_MODES:
+                    raise InvalidParameterError(
+                        f"phase {self.name!r}: unknown WAL corruption "
+                        f"mode {mode!r}; choose from "
+                        f"{', '.join(WAL_CORRUPTION_MODES)}"
+                    )
+        if self.enospc_at is not None and not 0 <= self.enospc_at < self.ticks:
+            raise InvalidParameterError(
+                f"phase {self.name!r}: enospc_at {self.enospc_at} outside "
+                f"[0, {self.ticks})"
+            )
         for tick, shard in self.worker_kills:
             if not 0 <= tick < self.ticks or shard < 0:
                 raise InvalidParameterError(
@@ -185,6 +215,14 @@ class Scenario:
     workers: int = 0
     churn_queries: int = 4
     snapshot_every: int = 6
+    # durability tier: journal admitted batches to a write-ahead log so
+    # crash recovery replays from disk instead of re-reading the source
+    wal: bool = False
+    wal_fsync: str = "always"
+    wal_segment_records: int = 64
+    # when False the stream is wrapped in a NonReplayableSource: any
+    # recovery-path read is counted and re-iteration refused (needs wal)
+    source_replayable: bool = True
 
     def __post_init__(self) -> None:
         if not self.phases:
@@ -211,6 +249,28 @@ class Scenario:
         if self.workers == 0 and any(p.worker_kills for p in self.phases):
             raise InvalidParameterError(
                 f"scenario {self.name!r}: worker_kills need workers > 0"
+            )
+        if not self.wal:
+            if not self.source_replayable:
+                raise InvalidParameterError(
+                    f"scenario {self.name!r}: a non-replayable source "
+                    "needs wal=True — there is nowhere else to recover "
+                    "from"
+                )
+            needy = [
+                p.name
+                for p in self.phases
+                if p.wal_corrupt or p.enospc_at is not None
+            ]
+            if needy:
+                raise InvalidParameterError(
+                    f"scenario {self.name!r}: phases {needy} use WAL "
+                    "faults but wal=False"
+                )
+        if self.wal_segment_records <= 0:
+            raise InvalidParameterError(
+                f"scenario {self.name!r}: wal_segment_records must be "
+                "positive"
             )
 
     @property
@@ -404,11 +464,85 @@ def _worker_churn() -> Scenario:
     )
 
 
+def _wal_recovery() -> Scenario:
+    return Scenario(
+        name="wal_recovery",
+        description=(
+            "Crash recovery with a source explicitly marked "
+            "non-replayable: every admitted batch is journalled to the "
+            "WAL, a mid-burst crash tears the log tail and bit-flips an "
+            "old record, an ENOSPC burst hits the append path — and "
+            "every recovery must re-converge exactly from checkpoint + "
+            "WAL tail with zero reads of the original source."
+        ),
+        window=500,
+        rate=40,
+        checkpoint_every=8,
+        checkpoint_keep=2,
+        # drains smaller than capacity: a burst leaves a cross-tick
+        # backlog, so the mid-burst crash has in-flight objects to spill
+        max_batch_factor=3,
+        wal=True,
+        wal_fsync="always",
+        wal_segment_records=16,
+        source_replayable=False,
+        phases=(
+            Phase(name="warm", kind="clean", ticks=12),
+            Phase(
+                name="dirty",
+                kind="dirty",
+                ticks=12,
+                p_duplicate=0.02,
+                p_corrupt=0.03,
+                p_delay=0.05,
+            ),
+            Phase(
+                name="crash_torn_flip",
+                kind="crash",
+                ticks=18,
+                burst_factor=8.0,
+                period=18,
+                burst_ticks=4,
+                crash_at=2,  # mid-burst: the queue has a backlog to spill
+                wal_corrupt=("torn_tail", "bitflip"),
+                verify_convergence=True,
+            ),
+            Phase(
+                name="crash_killed_mid_append",
+                kind="crash",
+                ticks=10,
+                # burst from tick 0 so the crash at tick 2 finds a
+                # backlog in flight: the spill record survives (only a
+                # half-written frame follows it) and must be restored
+                burst_factor=6.0,
+                period=10,
+                burst_ticks=3,
+                crash_at=2,
+                wal_corrupt=("partial_append",),
+                verify_convergence=True,
+            ),
+            Phase(
+                name="enospc",
+                kind="dirty",
+                ticks=10,
+                enospc_at=3,
+            ),
+            Phase(
+                name="settle",
+                kind="recovery",
+                ticks=10,
+                verify_convergence=True,
+            ),
+        ),
+    )
+
+
 SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "smoke": _smoke,
     "dirty_overload": _dirty_overload,
     "crash_recovery": _crash_recovery,
     "worker_churn": _worker_churn,
+    "wal_recovery": _wal_recovery,
 }
 
 

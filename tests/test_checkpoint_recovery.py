@@ -20,7 +20,13 @@ from repro.core.g2 import G2Monitor
 from repro.core.naive import NaiveMonitor
 from repro.core.spaces import region_key
 from repro.core.topk import TopKAG2Monitor
-from repro.errors import CheckpointChecksumError, ReproError, SnapshotError
+from repro.errors import (
+    CheckpointChecksumError,
+    DiskFullError,
+    DurableWriteError,
+    ReproError,
+    SnapshotError,
+)
 from repro.obs import Metrics
 from repro.resilience import CheckpointManager, MonitorSupervisor
 from repro.window import CountWindow
@@ -334,7 +340,7 @@ class TestTornWrite:
 
         monitor.update(stream_batches(2)[1])
         monkeypatch.setattr(persist.os, "replace", explode)
-        with pytest.raises(OSError):
+        with pytest.raises(DurableWriteError):
             manager.note_batch()
         monkeypatch.undo()
         _, index = CheckpointManager.recover(path)

@@ -96,6 +96,81 @@ class TestDeadLetterQueue:
             DeadLetterQueue(capacity=0)
 
 
+class TestDeadLetterDrainToJsonl:
+    def _letters(self, n, reason="invalid"):
+        from repro.resilience import DeadLetter
+
+        return [
+            DeadLetter(record={"raw": i}, reason=reason, detail="d", seq=i)
+            for i in range(n)
+        ]
+
+    def test_drain_writes_one_json_line_per_entry(self, tmp_path):
+        import json
+
+        q = DeadLetterQueue(capacity=8)
+        for letter in self._letters(3):
+            q.put(letter)
+        path = tmp_path / "dead.jsonl"
+        assert q.drain_to_jsonl(path) == 3
+        assert len(q) == 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        docs = [json.loads(line) for line in lines]
+        assert [doc["seq"] for doc in docs] == [0, 1, 2]
+        assert all(doc["reason"] == "invalid" for doc in docs)
+        assert docs[0]["record"] == {"raw": 0}
+
+    def test_repeated_drains_append_across_incarnations(self, tmp_path):
+        path = tmp_path / "dead.jsonl"
+        first = DeadLetterQueue(capacity=8)
+        for letter in self._letters(2):
+            first.put(letter)
+        first.drain_to_jsonl(path)
+        # a fresh queue (post-restart) appends to the same audit trail
+        second = DeadLetterQueue(capacity=8)
+        for letter in self._letters(3, reason="late"):
+            second.put(letter)
+        second.drain_to_jsonl(path)
+        assert len(path.read_text().splitlines()) == 5
+
+    def test_empty_queue_touches_nothing(self, tmp_path):
+        path = tmp_path / "dead.jsonl"
+        assert DeadLetterQueue().drain_to_jsonl(path) == 0
+        assert not path.exists()
+
+    def test_unserialisable_record_stored_as_repr(self, tmp_path):
+        import json
+
+        from repro.resilience import DeadLetter
+
+        q = DeadLetterQueue(capacity=8)
+        q.put(DeadLetter(record=object(), reason="invalid", detail="", seq=0))
+        path = tmp_path / "dead.jsonl"
+        assert q.drain_to_jsonl(path) == 1
+        (doc,) = [json.loads(line) for line in path.read_text().splitlines()]
+        assert doc["record"].startswith("<object object")
+
+    def test_disk_failure_is_typed_and_entries_survive(self, tmp_path):
+        from repro.errors import DurableWriteError
+
+        q = DeadLetterQueue(capacity=8)
+        for letter in self._letters(2):
+            q.put(letter)
+        # a directory path makes open(..., "a") raise EISDIR
+        with pytest.raises(DurableWriteError):
+            q.drain_to_jsonl(tmp_path)
+        # evidence is only dropped once it is on disk
+        assert len(q) == 2
+
+    def test_persisted_counter_in_metrics(self, tmp_path):
+        q = DeadLetterQueue(capacity=8, metrics=Metrics("test"))
+        for letter in self._letters(4):
+            q.put(letter)
+        q.drain_to_jsonl(tmp_path / "dead.jsonl")
+        assert q.metrics.counter("dead_letters_persisted").value == 4
+
+
 class TestReorderBuffer:
     def test_in_order_stream_flows_through(self):
         buf = ReorderBuffer(max_lateness=0.0)

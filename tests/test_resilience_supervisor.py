@@ -249,3 +249,102 @@ class TestRetryingSource:
         source = RetryingSource(FlakyOnceStream(objects), sleep=lambda _: None)
         assert list(source) == objects
         assert source.resets == 1
+
+
+class TestRetryJitterAndBudget:
+    def test_full_jitter_spreads_sleeps(self):
+        objects = make_objects(6, seed=17, domain=40.0)
+        sleeps: list[float] = []
+        rolls = iter([0.5, 0.25])
+        source = RetryingSource(
+            FlakyIterator(objects, fail_at=[1, 4]),
+            base_delay=0.1,
+            jitter=1.0,  # full jitter: sleep uniform in [0, delay]
+            rng=lambda: next(rolls),
+            sleep=sleeps.append,
+        )
+        assert list(source) == objects
+        assert sleeps == [0.05, 0.025]
+
+    def test_partial_jitter_keeps_floor(self):
+        objects = make_objects(4, seed=18, domain=40.0)
+        sleeps: list[float] = []
+        source = RetryingSource(
+            FlakyIterator(objects, fail_at=[2]),
+            base_delay=0.1,
+            jitter=0.5,
+            rng=lambda: 0.0,  # worst roll still sleeps half the delay
+            sleep=sleeps.append,
+        )
+        assert list(source) == objects
+        assert sleeps == [pytest.approx(0.05)]
+
+    def test_zero_jitter_is_the_deterministic_ladder(self):
+        objects = make_objects(4, seed=18, domain=40.0)
+        sleeps: list[float] = []
+        source = RetryingSource(
+            FlakyIterator(objects, fail_at=[2]),
+            base_delay=0.1,
+            rng=lambda: pytest.fail("rng must not be consulted"),
+            sleep=sleeps.append,
+        )
+        assert list(source) == objects
+        assert sleeps == [0.1]
+
+    def test_jitter_validated(self):
+        with pytest.raises(Exception, match="jitter"):
+            RetryingSource(iter([]), jitter=1.5)
+
+    def test_max_elapsed_gives_up_before_attempts_run_out(self):
+        class AlwaysBroken:
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                raise OSError("dead disk")
+
+        clock_values = iter([0.0, 3.0, 11.0])
+        source = RetryingSource(
+            AlwaysBroken(),
+            max_retries=50,
+            sleep=lambda _: None,
+            max_elapsed=10.0,
+            clock=lambda: next(clock_values),
+        )
+        with pytest.raises(SourceRetryExhaustedError, match="max_elapsed"):
+            list(source)
+        assert source.gave_up == 1
+        assert source.retries == 3  # attempts were not the limit
+
+    def test_retry_counters_in_metrics_registry(self):
+        objects = make_objects(6, seed=19, domain=40.0)
+        metrics = Metrics("test")
+        source = RetryingSource(
+            FlakyIterator(objects, fail_at=[1, 3]),
+            base_delay=0.01,
+            sleep=lambda _: None,
+            metrics=metrics,
+        )
+        assert list(source) == objects
+        assert metrics.counter("source_retries").value == 2
+        assert metrics.counter("source_retry_gave_up").value == 0
+        assert metrics.histogram("source_retry_sleep_s").count == 2
+
+    def test_gave_up_counter_in_registry(self):
+        class AlwaysBroken:
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                raise OSError("dead disk")
+
+        metrics = Metrics("test")
+        source = RetryingSource(
+            AlwaysBroken(),
+            max_retries=1,
+            sleep=lambda _: None,
+            metrics=metrics,
+        )
+        with pytest.raises(SourceRetryExhaustedError):
+            list(source)
+        assert metrics.counter("source_retry_gave_up").value == 1

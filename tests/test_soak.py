@@ -47,6 +47,7 @@ class TestScenarioValidation:
             "dirty_overload",
             "crash_recovery",
             "worker_churn",
+            "wal_recovery",
         ]
 
     def test_unknown_scenario_rejected(self):

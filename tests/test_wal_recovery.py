@@ -1,0 +1,289 @@
+"""Recovery-path tests: WAL scan + reconcile, offline inspection, the
+checkpoint ENOSPC contract, and the engine's inline disk-full recovery.
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from conftest import make_objects
+from repro.core.ag2 import AG2Monitor
+from repro.durability import (
+    WriteAheadLog,
+    inspect_wal,
+    reconcile,
+    scan_wal,
+)
+from repro.engine.engine import StreamEngine
+from repro.errors import (
+    DiskFullError,
+    InvalidParameterError,
+    WalCorruptionError,
+    WalSequenceError,
+)
+from repro.resilience.checkpoint import CheckpointManager
+from repro.soak.injectors import corrupt_wal
+from repro.window import CountWindow
+
+
+def _filled_log(tmp_path, batches=6, segment_records=2):
+    wal = WriteAheadLog(tmp_path, segment_records=segment_records)
+    written = []
+    for i in range(batches):
+        objects = make_objects(3, seed=100 + i, domain=60.0)
+        wal.append_batch(objects)
+        written.append(objects)
+    wal.close()
+    return written
+
+
+class TestScanWal:
+    def test_clean_scan_reads_everything(self, tmp_path):
+        written = _filled_log(tmp_path)
+        scan = scan_wal(tmp_path)
+        assert [i for i, _ in scan.batches] == [1, 2, 3, 4, 5, 6]
+        assert [objs for _, objs in scan.batches] == written
+        assert scan.last_seq == 6 and scan.last_index == 6
+        assert not scan.skipped and not scan.truncated_segments
+
+    def test_bitflip_skipped_within_budget(self, tmp_path):
+        _filled_log(tmp_path)
+        corrupt_wal(tmp_path, "bitflip")  # first record, oldest segment
+        scan = scan_wal(tmp_path)
+        assert scan.skipped == [1]
+        assert [i for i, _ in scan.batches] == [2, 3, 4, 5, 6]
+        # a leading hole cannot be pinned by gap inference (nothing
+        # readable precedes it); reconcile refuses it via the expected
+        # index range instead — see TestReconcile
+        assert scan.skipped_indexes == []
+
+    def test_interior_damage_pinned_by_gap_inference(self, tmp_path):
+        from repro.durability.record import MAGIC
+        from repro.durability.segment import list_segments
+
+        _filled_log(tmp_path)
+        # flip a payload byte of the second segment's first record
+        # (batch index 3): readable indexes on both sides pin the hole
+        path = list_segments(tmp_path)[1][1]
+        data = bytearray(path.read_bytes())
+        data[len(MAGIC) + 16 + 4] ^= 0x20
+        path.write_bytes(bytes(data))
+        scan = scan_wal(tmp_path)
+        assert scan.skipped == [3]
+        assert scan.skipped_indexes == [3]
+
+    def test_skip_budget_exhaustion_raises(self, tmp_path):
+        _filled_log(tmp_path)
+        corrupt_wal(tmp_path, "bitflip")
+        with pytest.raises(WalCorruptionError, match="skip budget"):
+            scan_wal(tmp_path, max_skips=0)
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        _filled_log(tmp_path)
+        corrupt_wal(tmp_path, "torn_tail")
+        scan = scan_wal(tmp_path)
+        assert len(scan.truncated_segments) == 1
+        assert scan.last_index == 5  # the torn final record is gone
+
+    def test_partial_append_tolerated(self, tmp_path):
+        _filled_log(tmp_path)
+        corrupt_wal(tmp_path, "partial_append")
+        scan = scan_wal(tmp_path)
+        assert scan.last_index == 6  # garbage after the last real frame
+        assert len(scan.truncated_segments) == 1
+
+
+class TestReconcile:
+    def test_tail_is_exactly_past_position(self, tmp_path):
+        written = _filled_log(tmp_path)
+        tail = reconcile(scan_wal(tmp_path), position=4)
+        assert tail.replayed_indexes == (5, 6)
+        assert [objs for _, objs in tail.batches] == written[4:]
+
+    def test_damage_below_position_forgiven(self, tmp_path):
+        _filled_log(tmp_path)
+        corrupt_wal(tmp_path, "bitflip")  # kills index 1
+        tail = reconcile(scan_wal(tmp_path), position=4)
+        assert tail.replayed_indexes == (5, 6)
+
+    def test_damage_above_position_refused(self, tmp_path):
+        _filled_log(tmp_path)
+        corrupt_wal(tmp_path, "bitflip")
+        with pytest.raises(WalSequenceError, match="missing batch"):
+            reconcile(scan_wal(tmp_path), position=0)
+
+    def test_interior_damage_above_position_refused(self, tmp_path):
+        from repro.durability.record import MAGIC
+        from repro.durability.segment import list_segments
+
+        _filled_log(tmp_path)
+        path = list_segments(tmp_path)[1][1]
+        data = bytearray(path.read_bytes())
+        data[len(MAGIC) + 16 + 4] ^= 0x20
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalSequenceError, match="lost batch"):
+            reconcile(scan_wal(tmp_path), position=2)
+        # ...but forgiven when a checkpoint already covers index 3
+        tail = reconcile(scan_wal(tmp_path), position=4)
+        assert tail.replayed_indexes == (5, 6)
+
+    def test_position_beyond_log_refused(self, tmp_path):
+        _filled_log(tmp_path)
+        with pytest.raises(WalSequenceError, match="diverged"):
+            reconcile(scan_wal(tmp_path), position=9)
+
+    def test_spill_restored_only_when_final_record(self, tmp_path):
+        written = _filled_log(tmp_path)
+        with WriteAheadLog(tmp_path, segment_records=2) as wal:
+            wal.log_spill(written[0], index=wal.last_index)
+        tail = reconcile(scan_wal(tmp_path), position=4)
+        assert tail.spill == written[0]
+
+    def test_stale_spill_not_restored(self, tmp_path):
+        written = _filled_log(tmp_path)
+        with WriteAheadLog(tmp_path, segment_records=2) as wal:
+            wal.log_spill(written[0], index=wal.last_index)
+            # a later incarnation appended after the spill: the buffer
+            # was already dealt with, restoring it would duplicate
+            wal.append_batch(written[1])
+        tail = reconcile(scan_wal(tmp_path), position=4)
+        assert tail.spill == []
+
+    def test_negative_position_rejected(self, tmp_path):
+        _filled_log(tmp_path)
+        with pytest.raises(InvalidParameterError):
+            reconcile(scan_wal(tmp_path), position=-1)
+
+
+class TestInspectWal:
+    def test_clean_log_reports_clean(self, tmp_path):
+        _filled_log(tmp_path)
+        doc = inspect_wal(tmp_path)
+        assert doc["clean"] and doc["records"] == 6
+        assert doc["damaged_records"] == 0 and doc["torn_segments"] == 0
+        kinds = [
+            record["kind"]
+            for segment in doc["detail"]
+            for record in segment["records"]
+        ]
+        assert kinds == ["batch"] * 6
+
+    def test_damage_reported_not_raised(self, tmp_path):
+        _filled_log(tmp_path)
+        corrupt_wal(tmp_path, "bitflip")
+        corrupt_wal(tmp_path, "torn_tail")
+        doc = inspect_wal(tmp_path)
+        assert not doc["clean"]
+        assert doc["damaged_records"] == 1
+        assert doc["torn_segments"] == 1
+
+
+class TestCheckpointEnospc:
+    """Satellite: ``CheckpointManager.save`` under a full disk must
+    leave every previous checkpoint readable and raise a typed error,
+    never a bare ``OSError``."""
+
+    def _manager(self, tmp_path, **kwargs):
+        monitor = AG2Monitor(10.0, 10.0, CountWindow(30))
+        monitor.ingest(make_objects(30, seed=21, domain=50.0))
+        return monitor, CheckpointManager(
+            monitor, tmp_path / "state.ckpt.json", every=1, keep=2, **kwargs
+        )
+
+    def test_enospc_is_typed_and_previous_checkpoint_survives(self, tmp_path):
+        monitor, manager = self._manager(tmp_path)
+        manager.checkpoint()
+        before = (tmp_path / "state.ckpt.json").read_bytes()
+
+        def full_disk(fd):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        manager._fsync = full_disk
+        with pytest.raises(DiskFullError) as exc_info:
+            manager.checkpoint()
+        assert exc_info.value.errno == errno.ENOSPC
+        # the failed write touched neither the live file nor a rotation
+        assert (tmp_path / "state.ckpt.json").read_bytes() == before
+        snapshot, position = CheckpointManager.recover(
+            tmp_path / "state.ckpt.json"
+        )
+        assert position == 0
+        assert sorted(o.oid for o in snapshot.window.contents) == sorted(
+            o.oid for o in monitor.window.contents
+        )
+
+    def test_no_temp_file_litter_after_enospc(self, tmp_path):
+        _monitor, manager = self._manager(tmp_path)
+        manager._fsync = lambda fd: (_ for _ in ()).throw(
+            OSError(errno.ENOSPC, "full")
+        )
+        with pytest.raises(DiskFullError):
+            manager.checkpoint()
+        leftovers = [
+            p.name
+            for p in tmp_path.iterdir()
+            if not p.name.startswith("state.ckpt.json")
+        ]
+        assert leftovers == []
+
+    def test_positions_history_feeds_retention_floor(self, tmp_path):
+        _monitor, manager = self._manager(tmp_path)
+        for index in (3, 7, 11):
+            manager.batch_index = index
+            manager.checkpoint()
+        # keep=2 retains keep+1 positions; the floor is the oldest
+        assert manager.positions == [11, 7, 3]
+        assert manager.retention_floor == 3
+        assert manager.last_position == 11
+
+
+class TestEngineInlineEnospcRecovery:
+    def test_disk_full_append_recovers_via_checkpoint_and_compaction(
+        self, tmp_path
+    ):
+        window = CountWindow(40)
+        monitor = AG2Monitor(10.0, 10.0, window)
+        monitor.ingest(make_objects(40, seed=31, domain=50.0))
+        wal = WriteAheadLog(tmp_path / "log", segment_records=2)
+        manager = CheckpointManager(
+            monitor, tmp_path / "ckpt.json", every=1000, keep=2
+        )
+        engine = StreamEngine(
+            {"m": monitor},
+            iter(()),
+            batch_size=8,
+            checkpoint=manager,
+            wal=wal,
+        )
+        for i in range(4):
+            engine.process(make_objects(8, seed=40 + i, domain=50.0))
+        segments_before = len(wal.segments)
+
+        fired = []
+
+        def hook(op):
+            if op == "append" and not fired:
+                fired.append(op)
+                raise OSError(errno.ENOSPC, "No space left on device")
+
+        wal.fault_hook = hook
+        engine.process(make_objects(8, seed=50, domain=50.0))
+        # the append was retried after an emergency checkpoint+compact:
+        # the batch is journalled, segments were reclaimed, and the
+        # engine kept running
+        assert fired == ["append"]
+        assert wal.last_index == 5
+        assert manager.checkpoints_written == 1
+        assert len(wal.segments) < segments_before
+
+    def test_disk_full_without_checkpointing_propagates(self, tmp_path):
+        monitor = AG2Monitor(10.0, 10.0, CountWindow(40))
+        wal = WriteAheadLog(tmp_path / "log")
+        engine = StreamEngine({"m": monitor}, iter(()), batch_size=8, wal=wal)
+        wal.fault_hook = lambda op: op == "append" and (
+            (_ for _ in ()).throw(OSError(errno.ENOSPC, "full"))
+        )
+        with pytest.raises(DiskFullError):
+            engine.process(make_objects(8, seed=60, domain=50.0))
