@@ -18,25 +18,39 @@ Usage::
     python scripts/perf_gate.py m.json
 
 **Bench mode** — compares a fresh ``maxrs-stream bench`` document
-against the committed baseline (``BENCH_PR6.json``) on
-``speedup_vs_naive``, per (monitor, dataset) row.  The speedup is a
-ratio *within* one run on one machine, so absolute host speed cancels
-out; what remains is the algorithmic advantage over the naive
-recompute, which is exactly what a kernel regression erodes.  The gate
-fails when any indexed monitor's speedup falls more than ``--tolerance``
-(default 15%) below the baseline row.  The multi-query ``scaling``
-ratio is gated the same way, but only when both the baseline and the
-current host have at least two CPUs — on one core the honest ratio is
-below 1 and carries no signal.  When both aG2 backends appear on a
-dataset in both documents, the *adaptive-index advantage* —
-quadtree-aG2 speedup over uniform-grid-aG2 speedup — is additionally
-gated against the baseline's advantage at twice the tolerance (the
-advantage is a ratio of two independently gated ratios).
+against the committed baseline (``BENCH_PR9.json``) on
+``speedup_vs_naive``, per (monitor, dataset, backend) row.  The speedup
+is a ratio *within* one run on one machine (against the naive row of
+the *same* sweep backend), so absolute host speed cancels out; what
+remains is the algorithmic advantage over the naive recompute, which is
+exactly what a kernel regression erodes.  The gate fails when any
+indexed monitor's speedup falls more than ``--tolerance`` (default 15%)
+below the baseline row.  Baseline rows for the ``numpy`` sweep backend
+are skipped — not failed — when the current document reports numpy
+unavailable, so the without-numpy CI leg stays honest.  The multi-query
+``scaling`` ratio is gated the same way, but only when both the
+baseline and the current host have at least two CPUs — on one core the
+honest ratio is below 1 and carries no signal.  When both aG2 spatial
+indexes appear on a dataset in both documents, the *adaptive-index
+advantage* — quadtree-aG2 speedup over uniform-grid-aG2 speedup — is
+additionally gated against the baseline's advantage at twice the
+tolerance (the advantage is a ratio of two independently gated ratios).
+
+Two vector-backend gates ride on the same documents:
+
+* the *columnar advantage* — python-row ``mean_ms`` over numpy-row
+  ``mean_ms`` for aG2 on the canonical workloads — is gated against the
+  baseline's advantage at twice the tolerance, wherever both documents
+  carry both rows;
+* the full-profile aG2 ``uniform`` numpy row must clear an *absolute*
+  ``speedup_vs_naive`` floor of ``VECTOR_SPEEDUP_FLOOR`` (2x) in
+  whichever document carries it — this is the PR-9 acceptance bar, not
+  a relative-to-baseline check.
 
 Usage::
 
     maxrs-stream bench --seed 42 --profile quick --out fresh.json
-    python scripts/perf_gate.py --bench fresh.json --baseline BENCH_PR6.json
+    python scripts/perf_gate.py --bench fresh.json --baseline BENCH_PR9.json
 
 Exits 0 when every check passes, 1 with a diagnostic otherwise.
 """
@@ -54,6 +68,15 @@ GATED_MONITORS = ("g2", "ag2", "ag2_quadtree", "rtree", "topk")
 #: over uniform-grid aG2 speedup, within one run) is gated against the
 #: baseline's advantage — the skewed rows exist for this comparison
 ADVANTAGE_DATASETS = ("gaussian", "gauss_static", "gauss_drift", "powerlaw")
+
+#: datasets where the columnar advantage (python-backend mean_ms over
+#: numpy-backend mean_ms, within one run) is gated for aG2 — the only
+#: workloads that carry numpy rows
+VECTOR_DATASETS = ("uniform", "gaussian")
+
+#: absolute speedup_vs_naive floor for the full-profile aG2 uniform
+#: numpy row (the PR-9 acceptance bar; not relative to the baseline)
+VECTOR_SPEEDUP_FLOOR = 2.0
 
 
 def check(metrics_path: str) -> list[str]:
@@ -110,24 +133,33 @@ def check(metrics_path: str) -> list[str]:
     return failures
 
 
-def _speedup_index(doc: dict) -> dict:
-    """(profile, monitor, dataset) -> speedup_vs_naive for one document."""
+def _row_index(doc: dict) -> dict:
+    """(profile, monitor, dataset, backend) -> row for one document.
+
+    ``backend`` is the sweep compute backend.  Schema-2 documents
+    predate the sweep backend and (mis)used the ``backend`` field for
+    the spatial index; their rows key as ``python``, which is what they
+    actually measured.
+    """
+    schema = doc.get("schema", 1)
     index: dict = {}
     for profile_name, profile_doc in doc.get("profiles", {}).items():
         for row in profile_doc.get("rows", []):
-            key = (profile_name, row["monitor"], row["dataset"])
-            index[key] = row["speedup_vs_naive"]
+            backend = row.get("backend", "python") if schema >= 3 else "python"
+            key = (profile_name, row["monitor"], row["dataset"], backend)
+            index[key] = row
     return index
 
 
-def _backend_index(doc: dict) -> dict:
-    """(profile, monitor, dataset) -> index backend (schema 2 rows)."""
-    index: dict = {}
-    for profile_name, profile_doc in doc.get("profiles", {}).items():
-        for row in profile_doc.get("rows", []):
-            key = (profile_name, row["monitor"], row["dataset"])
-            index[key] = row.get("backend", "none")
-    return index
+def _spatial_index_of(doc: dict, row: dict) -> str:
+    """The spatial index that produced a row (for diagnostics)."""
+    if doc.get("schema", 1) >= 3:
+        return row.get("index", "none")
+    return row.get("backend", "none")
+
+
+def _numpy_available(doc: dict) -> bool:
+    return bool(doc.get("vector", {}).get("available"))
 
 
 def check_bench(
@@ -140,32 +172,38 @@ def check_bench(
         baseline = json.load(fh)
 
     failures: list[str] = []
-    base_index = _speedup_index(baseline)
-    cur_index = _speedup_index(current)
-    backends = _backend_index(current)
+    base_rows = _row_index(baseline)
+    cur_rows = _row_index(current)
+    cur_has_numpy = _numpy_available(current)
     compared = 0
-    for key, base_speedup in sorted(base_index.items()):
-        profile_name, monitor, dataset = key
+    for key, base_row in sorted(base_rows.items()):
+        profile_name, monitor, dataset, backend = key
         if monitor not in GATED_MONITORS:
             continue
-        cur_speedup = cur_index.get(key)
-        if cur_speedup is None:
+        cur_row = cur_rows.get(key)
+        if cur_row is None:
             # the current run may cover a subset of profiles (the CI
             # smoke job runs only `quick`); a missing profile is fine,
-            # a missing monitor row within a covered profile is not
-            if any(k[0] == profile_name for k in cur_index):
+            # a missing monitor row within a covered profile is not —
+            # except numpy-backend rows on a host without numpy, which
+            # the suite rightly could not produce
+            if backend == "numpy" and not cur_has_numpy:
+                continue
+            if any(k[0] == profile_name for k in cur_rows):
                 failures.append(
                     f"bench row missing: {monitor} on {dataset} "
-                    f"({profile_name} profile)"
+                    f"[{backend} backend] ({profile_name} profile)"
                 )
             continue
         compared += 1
+        base_speedup = base_row["speedup_vs_naive"]
+        cur_speedup = cur_row["speedup_vs_naive"]
         floor = base_speedup * (1.0 - tolerance)
         if cur_speedup < floor:
-            backend = backends.get(key, "none")
+            spatial = _spatial_index_of(current, cur_row)
             failures.append(
                 f"kernel throughput regression: {monitor} "
-                f"[{backend} backend] on {dataset} "
+                f"[{backend} backend, {spatial} index] on {dataset} "
                 f"({profile_name}) speedup_vs_naive {cur_speedup:.2f}x "
                 f"below floor {floor:.2f}x "
                 f"(baseline {base_speedup:.2f}x, tolerance {tolerance:.0%})"
@@ -185,13 +223,20 @@ def check_bench(
     for profile_name in current.get("profiles", {}):
         for dataset in ADVANTAGE_DATASETS:
             values = []
-            for index in (base_index, cur_index):
-                grid = index.get((profile_name, "ag2", dataset))
-                quad = index.get((profile_name, "ag2_quadtree", dataset))
-                if not grid or not quad:
+            for rows in (base_rows, cur_rows):
+                grid = rows.get((profile_name, "ag2", dataset, "python"))
+                quad = rows.get(
+                    (profile_name, "ag2_quadtree", dataset, "python")
+                )
+                if grid is None or quad is None:
                     values = []
                     break
-                values.append(quad / grid)
+                grid_speedup = grid["speedup_vs_naive"]
+                quad_speedup = quad["speedup_vs_naive"]
+                if not grid_speedup or not quad_speedup:
+                    values = []
+                    break
+                values.append(quad_speedup / grid_speedup)
             if not values:
                 continue
             base_adv, cur_adv = values
@@ -204,6 +249,55 @@ def check_bench(
                     f"(baseline {base_adv:.2f}x, tolerance "
                     f"{2.0 * tolerance:.0%})"
                 )
+
+    # columnar advantage: python-row mean over numpy-row mean for aG2,
+    # within one run, compared to the baseline's advantage.  Like the
+    # adaptive-index advantage this is a ratio of two independently
+    # measured rows, so the tolerance composes both rows' allowances.
+    # Skipped wherever either document lacks the numpy row (numpy-less
+    # host), which the missing-row check above already polices.
+    for profile_name in current.get("profiles", {}):
+        for dataset in VECTOR_DATASETS:
+            values = []
+            for rows in (base_rows, cur_rows):
+                py = rows.get((profile_name, "ag2", dataset, "python"))
+                np_ = rows.get((profile_name, "ag2", dataset, "numpy"))
+                if py is None or np_ is None or not np_["mean_ms"]:
+                    values = []
+                    break
+                values.append(py["mean_ms"] / np_["mean_ms"])
+            if not values:
+                continue
+            base_adv, cur_adv = values
+            floor = base_adv * (1.0 - 2.0 * tolerance)
+            if cur_adv < floor:
+                failures.append(
+                    "columnar backend advantage regression: "
+                    f"ag2 python/numpy mean_ms on {dataset} "
+                    f"({profile_name}) advantage {cur_adv:.2f}x below "
+                    f"floor {floor:.2f}x (baseline {base_adv:.2f}x, "
+                    f"tolerance {2.0 * tolerance:.0%})"
+                )
+
+    # PR-9 acceptance bar: the full-profile aG2 uniform numpy row must
+    # beat its (numpy) naive baseline by an absolute factor, in
+    # whichever document carries the row — gating the committed
+    # baseline itself, not just drift against it.
+    for label, doc, rows in (
+        ("baseline", baseline, base_rows),
+        ("current", current, cur_rows),
+    ):
+        row = rows.get(("full", "ag2", "uniform", "numpy"))
+        if row is None:
+            continue
+        speedup = row["speedup_vs_naive"]
+        if speedup < VECTOR_SPEEDUP_FLOOR:
+            failures.append(
+                f"vector speedup floor violated ({label}): ag2 [numpy "
+                f"backend] on uniform (full) speedup_vs_naive "
+                f"{speedup:.2f}x below the absolute "
+                f"{VECTOR_SPEEDUP_FLOOR:.1f}x floor"
+            )
 
     # multi-query scaling: only meaningful with real parallel hardware
     base_cpus = baseline.get("cpu_count", 1)
@@ -238,7 +332,7 @@ def main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--baseline", metavar="PATH",
-        help="bench-mode: committed baseline JSON (e.g. BENCH_PR6.json)",
+        help="bench-mode: committed baseline JSON (e.g. BENCH_PR9.json)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.15,

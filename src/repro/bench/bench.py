@@ -3,15 +3,25 @@
 ``run_bench`` drives every monitor implementation over the two
 canonical workloads (uniform = ``synthetic``, gaussian =
 ``geolife_like``) with a fixed stream seed and reports, per
-(monitor, dataset) row:
+(monitor, dataset, backend) row:
 
 * ``ops_per_s``   — arrival throughput (objects processed per second),
 * ``mean_ms`` / ``p95_ms`` — per-batch update latency,
 * ``speedup_vs_naive`` — naive mean over this monitor's mean on the
-  *same* dataset in the *same* run,
-* ``backend``     — the spatial index that produced the row
+  *same* dataset with the *same* sweep backend in the *same* run,
+* ``backend``     — the sweep compute backend (``python`` / ``numpy``),
+* ``index``       — the spatial index that produced the row
   (``uniform-grid`` / ``quadtree`` / ``rtree`` / ``none``), so a gate
   failure names the offending index, not just the algorithm label.
+
+When numpy is importable, the vector-capable monitors
+(:data:`BENCH_VECTOR_MONITORS`) additionally run under the columnar
+numpy backend on the two canonical workloads, interleaved in the same
+measurement rounds as the python rows so backend-vs-backend ratios are
+taken over the same span of host speed.  Each backend's
+``speedup_vs_naive`` uses its own backend's naive denominator; the
+cross-backend comparison the gate consumes is the ratio of ``mean_ms``
+between the python and numpy rows of one (monitor, dataset).
 
 Three *skewed* workloads (``gauss_static``, ``gauss_drift``,
 ``powerlaw``) additionally run the skew-relevant subset — naive,
@@ -36,10 +46,10 @@ row records ``cpu_count`` because the ratio only exceeds 1 when the
 host actually has spare cores — on a single-CPU machine the honest
 number is below 1 and the gate skips it (see docs/PERFORMANCE.md).
 
-The committed baseline lives in ``BENCH_PR6.json`` at the repo root;
-regenerate it with ``maxrs-stream bench --seed 42 --out BENCH_PR6.json``
+The committed baseline lives in ``BENCH_PR9.json`` at the repo root;
+regenerate it with ``maxrs-stream bench --seed 42 --out BENCH_PR9.json``
 and compare a fresh run against it with
-``python scripts/perf_gate.py --bench new.json --baseline BENCH_PR6.json``.
+``python scripts/perf_gate.py --bench new.json --baseline BENCH_PR9.json``.
 """
 
 from __future__ import annotations
@@ -48,8 +58,9 @@ import gc
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
+from repro.core import vector
 from repro.core.ag2 import AG2Monitor
 from repro.core.g2 import G2Monitor
 from repro.core.grid import _cell_keys_cached
@@ -71,6 +82,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "BENCH_SKEW_DATASETS",
     "BENCH_SKEW_MONITORS",
+    "BENCH_VECTOR_MONITORS",
     "BenchProfile",
     "PROFILES",
     "bench_rows",
@@ -79,9 +91,12 @@ __all__ = [
     "scaling_rows",
 ]
 
+#: 3: ``backend`` now names the sweep compute backend (python/numpy) on
+#: every row, the spatial index moved to the new ``index`` field, and
+#: the canonical workloads gained numpy-backend rows (PR 9)
 #: 2: added the skewed workload rows, the ag2_quadtree monitor and the
 #: per-row ``backend`` field (PR 6)
-BENCH_SCHEMA = 2
+BENCH_SCHEMA = 3
 
 #: benchmark dataset label -> repro.datasets workload name
 BENCH_DATASETS = {"uniform": "synthetic", "gaussian": "geolife_like"}
@@ -94,19 +109,26 @@ BENCH_SKEW_DATASETS = {
     "powerlaw": "powerlaw_cities",
 }
 
-MonitorFactory = Callable[[float, int], MaxRSMonitor]
+MonitorFactory = Callable[[float, int, str], MaxRSMonitor]
 
-#: label -> factory(side, window_size); ordering is the report ordering
+#: label -> factory(side, window_size, backend); ordering is the report
+#: ordering.  The rtree factory ignores the backend argument: it is
+#: never instantiated with anything but ``python`` because it is not in
+#: :data:`BENCH_VECTOR_MONITORS`.
 BENCH_MONITORS: Dict[str, MonitorFactory] = {
-    "naive": lambda side, w: NaiveMonitor(side, side, CountWindow(w)),
-    "g2": lambda side, w: G2Monitor(side, side, CountWindow(w)),
-    "ag2": lambda side, w: AG2Monitor(side, side, CountWindow(w)),
-    "ag2_quadtree": lambda side, w: QuadtreeAG2Monitor(
-        side, side, CountWindow(w)
+    "naive": lambda side, w, b: NaiveMonitor(
+        side, side, CountWindow(w), backend=b
     ),
-    "rtree": lambda side, w: RTreeMonitor(side, side, CountWindow(w)),
-    "topk": lambda side, w: TopKAG2Monitor(
-        side, side, CountWindow(w), k=10
+    "g2": lambda side, w, b: G2Monitor(side, side, CountWindow(w), backend=b),
+    "ag2": lambda side, w, b: AG2Monitor(
+        side, side, CountWindow(w), backend=b
+    ),
+    "ag2_quadtree": lambda side, w, b: QuadtreeAG2Monitor(
+        side, side, CountWindow(w), backend=b
+    ),
+    "rtree": lambda side, w, b: RTreeMonitor(side, side, CountWindow(w)),
+    "topk": lambda side, w, b: TopKAG2Monitor(
+        side, side, CountWindow(w), k=10, backend=b
     ),
 }
 
@@ -114,6 +136,13 @@ BENCH_MONITORS: Dict[str, MonitorFactory] = {
 #: the two aG2 index backends under comparison (the full matrix would
 #: triple the suite's runtime for rows no gate consumes)
 BENCH_SKEW_MONITORS = ("naive", "ag2", "ag2_quadtree")
+
+#: the subset that gets a second, numpy-backend row on the canonical
+#: workloads when numpy is importable: the naive denominator plus the
+#: two aG2 variants the speedup gates consume.  g2/topk accept the
+#: backend too but adding their rows would grow the suite's runtime for
+#: comparisons no gate reads; rtree has no numpy path at all.
+BENCH_VECTOR_MONITORS = ("naive", "ag2", "ag2_quadtree")
 
 
 @dataclass(frozen=True, slots=True)
@@ -269,51 +298,71 @@ def run_profile_suite(
     rows: List[Dict[str, object]] = []
 
     def run_dataset(
-        ds_label: str, dataset: str, monitor_labels: Sequence[str]
+        ds_label: str,
+        dataset: str,
+        monitor_labels: Sequence[str],
+        vector_rows: bool = False,
     ) -> None:
         """One dataset's rows, measured as interleaved rounds.
 
-        Each round times *every* monitor (naive included) back to
-        back over the identical seeded stream, and each batch keeps
-        its fastest observation across rounds.  Scheduler preemption
-        and page faults only ever *add* time, so the per-batch minimum
-        converges on the true cost as rounds accumulate; interleaving
-        the rounds means every monitor's minima sample the same span
-        of the host's speed history, so slow drift (frequency scaling,
-        allocator layout, co-tenant load) cannot land on one side of a
-        ratio only.  ``speedup_vs_naive`` — the number the CI gate
-        compares — is the ratio of these denoised means.  Single-shot
-        5-batch means swung ±20–30% between runs on a busy 1-CPU
-        host, tripping the 15% gate on pure noise; the minima hold
-        rows steady within a few percent.
+        Each round times *every* variant (naive included, numpy-backend
+        variants too) back to back over the identical seeded stream, and
+        each batch keeps its fastest observation across rounds.
+        Scheduler preemption and page faults only ever *add* time, so
+        the per-batch minimum converges on the true cost as rounds
+        accumulate; interleaving the rounds means every variant's minima
+        sample the same span of the host's speed history, so slow drift
+        (frequency scaling, allocator layout, co-tenant load) cannot
+        land on one side of a ratio only.  ``speedup_vs_naive`` — the
+        number the CI gate compares — is the ratio of these denoised
+        means.  Single-shot 5-batch means swung ±20–30% between runs on
+        a busy 1-CPU host, tripping the 15% gate on pure noise; the
+        minima hold rows steady within a few percent.
         """
         rounds = max(1, profile.repeats)
-        best: Dict[str, List[float]] = {}
-        backends: Dict[str, str] = {}
+        variants: List[Tuple[str, str]] = [
+            (label, "python") for label in monitor_labels
+        ]
+        if vector_rows and vector.HAVE_NUMPY:
+            variants.extend(
+                (label, "numpy")
+                for label in monitor_labels
+                if label in BENCH_VECTOR_MONITORS
+            )
+        best: Dict[Tuple[str, str], List[float]] = {}
+        indexes: Dict[str, str] = {}
         for _ in range(rounds):
-            for mon_label in monitor_labels:
+            for mon_label, backend in variants:
                 monitor = BENCH_MONITORS[mon_label](
-                    profile.rect_side, profile.window_size
+                    profile.rect_side, profile.window_size, backend
                 )
-                backends[mon_label] = monitor.backend
+                indexes[mon_label] = monitor.index_backend
                 times = _time_once(monitor, profile, dataset, seed)
-                if mon_label in best:
-                    best[mon_label] = [
-                        min(a, b) for a, b in zip(best[mon_label], times)
-                    ]
+                key = (mon_label, backend)
+                if key in best:
+                    best[key] = [min(a, b) for a, b in zip(best[key], times)]
                 else:
-                    best[mon_label] = times
-        naive_times = best["naive"]
-        naive_mean_ms = sum(naive_times) / len(naive_times) * 1000.0
-        for mon_label in monitor_labels:
-            times = best[mon_label]
+                    best[key] = times
+        # per-backend naive denominators: a numpy row's speedup is taken
+        # against the numpy naive baseline so the ratio isolates the
+        # algorithm, not the backend.  (Every variant list includes
+        # naive, so the fallback only ever covers a caller that trims
+        # monitor_labels below the naive row.)
+        naive_mean_ms: Dict[str, float] = {}
+        for (mon_label, backend), times in best.items():
+            if mon_label == "naive":
+                naive_mean_ms[backend] = sum(times) / len(times) * 1000.0
+        for mon_label, backend in variants:
+            times = best[(mon_label, backend)]
             total = sum(times)
             mean_ms = total / len(times) * 1000.0
+            denom = naive_mean_ms.get(backend, naive_mean_ms.get("python", 0.0))
             rows.append(
                 {
                     "monitor": mon_label,
                     "dataset": ds_label,
-                    "backend": backends[mon_label],
+                    "backend": backend,
+                    "index": indexes[mon_label],
                     "ops_per_s": (
                         profile.batch_size * len(times) / total
                         if total > 0
@@ -322,13 +371,13 @@ def run_profile_suite(
                     "mean_ms": mean_ms,
                     "p95_ms": _p95(times) * 1000.0,
                     "speedup_vs_naive": (
-                        naive_mean_ms / mean_ms if mean_ms > 0 else 0.0
+                        denom / mean_ms if mean_ms > 0 else 0.0
                     ),
                 }
             )
 
     for ds_label, dataset in BENCH_DATASETS.items():
-        run_dataset(ds_label, dataset, tuple(BENCH_MONITORS))
+        run_dataset(ds_label, dataset, tuple(BENCH_MONITORS), vector_rows=True)
     for ds_label, dataset in BENCH_SKEW_DATASETS.items():
         run_dataset(ds_label, dataset, BENCH_SKEW_MONITORS)
     doc: Dict[str, object] = {
@@ -353,6 +402,14 @@ def run_bench(
         "schema": BENCH_SCHEMA,
         "seed": seed,
         "cpu_count": os.cpu_count() or 1,
+        # which sweep backends this host could actually run: the gate
+        # uses this to skip numpy-row comparisons on numpy-less hosts
+        # instead of failing them as missing rows
+        "vector": {
+            "available": vector.HAVE_NUMPY,
+            "numpy": vector.numpy_version(),
+            "numba": vector.numba_version(),
+        },
         "profiles": {
             name: run_profile_suite(name, seed, scaling=scaling)
             for name in profiles

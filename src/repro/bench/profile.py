@@ -17,6 +17,7 @@ from typing import Dict, Sequence
 
 from repro.bench.config import ExperimentConfig
 from repro.bench.runners import ALGORITHMS, build_monitor
+from repro.core import vector
 from repro.datasets import make_stream
 from repro.engine.engine import EngineReport, StreamEngine
 from repro.obs.metrics import Metrics
@@ -57,8 +58,12 @@ class ProfileReport:
     config: ExperimentConfig
     report: EngineReport
     primed: int
-    #: monitor name -> spatial index backend that produced its numbers
+    #: monitor name -> sweep compute backend that produced its numbers
     backends: Dict[str, str] = field(default_factory=dict)
+    #: monitor name -> spatial index that produced its numbers
+    indexes: Dict[str, str] = field(default_factory=dict)
+    #: resolved vector-backend environment (numpy/numba versions)
+    vector_info: Dict[str, object] = field(default_factory=dict)
 
     def summary_rows(self) -> list[dict[str, object]]:
         """One row per monitor: mean update time + lifetime counters."""
@@ -68,6 +73,7 @@ class ProfileReport:
             row: dict[str, object] = {
                 "monitor": name,
                 "backend": self.backends.get(name, "none"),
+                "index": self.indexes.get(name, "none"),
                 "mean_ms": self.report.mean_ms(name),
             }
             for column in columns:
@@ -134,6 +140,8 @@ class ProfileReport:
         doc["config"] = asdict(self.config)
         doc["primed"] = self.primed
         doc["backends"] = dict(self.backends)
+        doc["indexes"] = dict(self.indexes)
+        doc["vector"] = dict(self.vector_info)
         doc["derived_rates"] = self.rate_rows()
         return doc
 
@@ -160,4 +168,6 @@ def run_profile(
         report=report,
         primed=primed,
         backends={name: mon.backend for name, mon in monitors.items()},
+        indexes={name: mon.index_backend for name, mon in monitors.items()},
+        vector_info=vector.backend_info(cfg.backend),
     )

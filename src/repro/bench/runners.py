@@ -45,15 +45,18 @@ def build_monitor(
     """Instantiate one of the paper's algorithms for a configuration."""
     window = CountWindow(cfg.window_size)
     side = cfg.rect_side
+    backend = cfg.backend
     if algorithm == "naive":
         # index-free baseline: the index selection does not apply
-        return NaiveMonitor(side, side, window, k=cfg.k)
+        return NaiveMonitor(side, side, window, k=cfg.k, backend=backend)
     if algorithm == "g2":
         if cfg.index == "quadtree":
             raise InvalidParameterError(
                 "the quadtree index backs ag2 only; g2 is grid-only"
             )
-        return G2Monitor(side, side, window, cell_size=cfg.cell_size)
+        return G2Monitor(
+            side, side, window, cell_size=cfg.cell_size, backend=backend
+        )
     if algorithm == "ag2":
         if cfg.index == "quadtree":
             if cfg.k > 1:
@@ -67,10 +70,16 @@ def build_monitor(
                 tile_size=cfg.cell_size,
                 epsilon=cfg.epsilon,
                 tighten=make_tightener(tighten_mode),
+                backend=backend,
             )
         if cfg.k > 1:
             return TopKAG2Monitor(
-                side, side, window, k=cfg.k, cell_size=cfg.cell_size
+                side,
+                side,
+                window,
+                k=cfg.k,
+                cell_size=cfg.cell_size,
+                backend=backend,
             )
         return AG2Monitor(
             side,
@@ -79,6 +88,7 @@ def build_monitor(
             cell_size=cfg.cell_size,
             epsilon=cfg.epsilon,
             tighten=make_tightener(tighten_mode),
+            backend=backend,
         )
     raise InvalidParameterError(
         f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"

@@ -34,7 +34,7 @@ __all__ = ["RTreeMonitor"]
 class RTreeMonitor(MaxRSMonitor):
     """Incremental exact MaxRS monitor backed by an R-tree (ablation)."""
 
-    backend = "rtree"
+    index_backend = "rtree"
 
     def __init__(
         self,

@@ -1,0 +1,845 @@
+"""Columnar (struct-of-arrays) sweep backend — the optional numpy fast path.
+
+Every monitor accepts ``backend="python" | "numpy"``.  The default is the
+pure-Python reference implementation; ``"numpy"`` routes the batch-shaped
+hot paths through this module:
+
+* **batched dual-rect generation** — one vectorised ``centre ± half``
+  per batch instead of one :meth:`Rect.from_center` per object
+  (:func:`build_weighted_rects`),
+* **vectorised grid mapping** — the float-guarded cell-range loops of
+  ``repro.core.grid._axis_cells`` run once over the whole batch
+  (:func:`grid_cell_ranges`),
+* **batched overlap computation** — each cell visit tests its pending
+  rectangles against the cell's live vertices with one broadcast
+  comparison instead of a Python double loop (:func:`connect_batch`,
+  backed by the per-cell :class:`RectColumns` coordinate mirror),
+* **columnar plane sweep** — event construction via
+  ``np.unique``/``searchsorted``/``lexsort`` replacing the per-tuple
+  sort, feeding either the pooled reference segment tree or, when numba
+  is importable, the array-backed jitted kernel
+  (:func:`sweep_columns_max`, :func:`_sweep_events_array`).
+
+**Bit-identical by construction.**  Only *exact* operations are
+vectorised: the dual transform is the same IEEE-754 float64 arithmetic
+either way, cell ranges are integer arithmetic with the same float
+guards, overlap masks are pure comparisons, and ``np.lexsort`` over the
+strict total order ``(y, kind, seq)`` reproduces the native tuple sort.
+Float *accumulations* (``vertex.upper += w``, segment-tree node sums)
+are replayed in exactly the reference order — never ``np.sum``, whose
+pairwise association differs.  The hypothesis differential suite
+(tests/test_vector_backend.py) asserts byte-identical answers across
+backends under arbitrary interleavings.
+
+numpy is an optional extra (``pip install 'repro[vector]'``); numba an
+optional extra on top (``'repro[vector-jit]'``).  Without numpy every
+entry point that was asked for the numpy backend raises a typed
+:class:`InvalidParameterError` at construction time; nothing in the
+default path imports numpy.
+"""
+
+from __future__ import annotations
+
+import importlib.metadata
+import importlib.util
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.geometry import Rect
+from repro.core.objects import SpatialObject, WeightedRect
+from repro.core.segment_tree import MaxCoverSegmentTree
+from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.core.graph import CellGraph, Vertex
+
+try:  # numpy is deliberately optional (the `vector` extra)
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised via monkeypatch in tests
+    _np = None
+
+#: True when numpy imported; monkeypatched by tests to exercise the
+#: degraded (numpy-absent) contract without uninstalling numpy.
+HAVE_NUMPY = _np is not None
+
+#: True when numba is *importable* (checked without importing it — the
+#: import itself is expensive and deferred to first kernel use).
+HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+
+#: Valid values of the monitors' ``backend=`` parameter.
+SWEEP_BACKENDS = ("python", "numpy")
+
+#: Minimum item count before a numpy-backend sweep leaves the reference
+#: kernel: below this the columnar setup costs more than it saves.
+#: Tests lower it to force the vector path onto tiny inputs.
+VECTOR_SWEEP_MIN = 96
+
+#: Minimum overlap-problem size (``V*P + P*P`` for V live vertices and P
+#: pending rectangles) before a cell visit builds its coordinate mirror
+#: and batches the overlap test.  Cells below it run the scalar
+#: reference loop — on uniform workloads most cells hold a handful of
+#: rectangles and a broadcast over them costs more than it saves.  Once
+#: a cell's mirror exists it stays on the batched path to keep the
+#: mirror in sync.  Tests lower it to force batching onto tiny cells.
+CONNECT_BATCH_MIN = 512
+
+__all__ = [
+    "HAVE_NUMPY",
+    "HAVE_NUMBA",
+    "SWEEP_BACKENDS",
+    "VECTOR_SWEEP_MIN",
+    "CONNECT_BATCH_MIN",
+    "resolve_backend",
+    "backend_info",
+    "numpy_version",
+    "numba_version",
+    "build_dual_arrays",
+    "build_weighted_rects",
+    "grid_cell_ranges",
+    "RectColumns",
+    "connect_batch",
+    "sweep_columns_max",
+    "sweep_items_max_columns",
+]
+
+
+# -- backend selection ----------------------------------------------------
+
+
+def numpy_version() -> str | None:
+    """The active numpy version, or None when numpy is unavailable."""
+    if not HAVE_NUMPY or _np is None:
+        return None
+    return str(_np.__version__)
+
+
+def numba_version() -> str | None:
+    """The importable numba version, or None when numba is unavailable."""
+    if not HAVE_NUMBA:
+        return None
+    try:
+        return importlib.metadata.version("numba")
+    except importlib.metadata.PackageNotFoundError:  # pragma: no cover
+        return None
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate a ``backend=`` value, degrading with a typed error.
+
+    Raises :class:`InvalidParameterError` for unknown names and when the
+    numpy backend is requested but numpy is not importable — the latter
+    names the ``[vector]`` extra so the failure is actionable.
+    """
+    if backend not in SWEEP_BACKENDS:
+        raise InvalidParameterError(
+            f"unknown sweep backend {backend!r}; expected one of "
+            f"{', '.join(SWEEP_BACKENDS)}"
+        )
+    if backend == "numpy" and not HAVE_NUMPY:
+        raise InvalidParameterError(
+            "sweep backend 'numpy' requires the optional numpy dependency; "
+            "install it with: pip install 'repro[vector]'"
+        )
+    return backend
+
+
+def backend_info(backend: str) -> dict[str, object]:
+    """Resolved-backend report for CLI/JSON output.
+
+    ``numpy``/``numba`` carry version strings only when the backend
+    actually engages them, so a report names exactly what ran.
+    """
+    active = backend == "numpy"
+    return {
+        "backend": backend,
+        "numpy": numpy_version() if active else None,
+        "numba": numba_version() if active else None,
+    }
+
+
+def _require_numpy():
+    if _np is None or not HAVE_NUMPY:  # pragma: no cover - guarded earlier
+        raise InvalidParameterError(
+            "numpy backend invoked without numpy; install the [vector] extra"
+        )
+    return _np
+
+
+# -- batched dual transform ----------------------------------------------
+
+
+def build_dual_arrays(
+    objects: Sequence[SpatialObject], width: float, height: float
+) -> tuple:
+    """Columnar Definition-2 dual transform: ``(x1, y1, x2, y2, w)``.
+
+    Bit-identical to :meth:`Rect.from_center` per object — the
+    ``centre ± size/2`` arithmetic is the same IEEE-754 float64 operation
+    scalar or vectorised.  Non-finite results fall back to the scalar
+    constructor so the raised error is exactly the reference one.
+    """
+    np = _require_numpy()
+    xs = np.array([o.x for o in objects], dtype=np.float64)
+    ys = np.array([o.y for o in objects], dtype=np.float64)
+    ws = np.array([o.weight for o in objects], dtype=np.float64)
+    hw = width / 2.0
+    hh = height / 2.0
+    x1 = xs - hw
+    y1 = ys - hh
+    x2 = xs + hw
+    y2 = ys + hh
+    if not (
+        np.isfinite(x1).all()
+        and np.isfinite(y1).all()
+        and np.isfinite(x2).all()
+        and np.isfinite(y2).all()
+    ):
+        for o in objects:  # raises the reference InvalidGeometryError
+            WeightedRect.from_object(o, width, height)
+    return x1, y1, x2, y2, ws
+
+
+def build_weighted_rects(
+    objects: Sequence[SpatialObject], width: float, height: float
+) -> tuple[list[WeightedRect], tuple]:
+    """Batched :meth:`WeightedRect.from_object` plus the coordinate columns.
+
+    The rectangles are built through ``object.__new__`` with the batch
+    already validated (finite bounds, ``x1 <= x2`` by construction), so
+    the per-object ``__post_init__`` re-validation is skipped; the
+    resulting value objects are indistinguishable from scalar-built ones
+    (frozen dataclass equality and hashing are by field values).
+    """
+    x1, y1, x2, y2, ws = build_dual_arrays(objects, width, height)
+    x1l = x1.tolist()
+    y1l = y1.tolist()
+    x2l = x2.tolist()
+    y2l = y2.tolist()
+    wl = ws.tolist()
+    new = object.__new__
+    setattr_ = object.__setattr__
+    wrs: list[WeightedRect] = []
+    append = wrs.append
+    for i, o in enumerate(objects):
+        r = new(Rect)
+        setattr_(r, "x1", x1l[i])
+        setattr_(r, "y1", y1l[i])
+        setattr_(r, "x2", x2l[i])
+        setattr_(r, "y2", y2l[i])
+        wr = new(WeightedRect)
+        setattr_(wr, "rect", r)
+        setattr_(wr, "weight", wl[i])
+        setattr_(wr, "obj", o)
+        append(wr)
+    return wrs, (x1, y1, x2, y2, ws)
+
+
+# -- vectorised grid mapping ---------------------------------------------
+
+
+def _axis_ranges(lo, hi, origin: float, cs: float) -> tuple:
+    """Vectorised ``grid._axis_cells``: first/last overlapped cell index.
+
+    Replicates the reference exactly: floor-divide, widen by one, then
+    trim with the same float-guard predicates (run as masked batch
+    passes until no element moves — each element takes the same number
+    of steps it would take in the scalar while-loop).
+    """
+    np = _np
+    q0 = (lo - origin) / cs
+    q1 = (hi - origin) / cs
+    if not (np.isfinite(q0).all() and np.isfinite(q1).all()):
+        from repro.core.grid import _axis_cells
+
+        for a, b in zip(lo.tolist(), hi.tolist()):
+            _axis_cells(a, b, origin, cs)  # raises the reference error
+    i0 = np.floor(q0).astype(np.int64) - 1
+    i1 = np.floor(q1).astype(np.int64) + 1
+    while True:
+        mask = origin + (i0 + 1) * cs <= lo
+        if not mask.any():
+            break
+        i0[mask] += 1
+    while True:
+        mask = origin + i1 * cs >= hi
+        if not mask.any():
+            break
+        i1[mask] -= 1
+    return i0, i1
+
+
+def grid_cell_ranges(x1, y1, x2, y2, grid) -> tuple:
+    """Inclusive cell-index ranges ``(i0, i1, j0, j1)`` for a batch.
+
+    Callers must skip degenerate rectangles themselves (the reference
+    ``cell_keys`` returns an empty cover for them); the ranges computed
+    here for degenerate inputs are unspecified.
+    """
+    cs = grid.cell_size
+    i0, i1 = _axis_ranges(x1, x2, grid.origin_x, cs)
+    j0, j1 = _axis_ranges(y1, y2, grid.origin_y, cs)
+    return i0, i1, j0, j1
+
+
+# -- columnar rectangle storage ------------------------------------------
+
+
+class RectColumns:
+    """Struct-of-arrays rectangle buffer in arrival order.
+
+    Used two ways: as the naive monitor's alive-window ring (with the
+    weight column) and as a cell's coordinate mirror of its graph
+    vertices (with the sequence column, for expiry sync).  Entries leave
+    only from the front; ``lo``/``hi`` are logical offsets into backing
+    arrays that grow geometrically and compact when the dead prefix
+    dominates.
+    """
+
+    __slots__ = ("x1", "y1", "x2", "y2", "w", "seq", "lo", "hi")
+
+    def __init__(
+        self, capacity: int = 64, with_w: bool = False, with_seq: bool = False
+    ) -> None:
+        np = _require_numpy()
+        capacity = max(8, capacity)
+        self.x1 = np.empty(capacity, dtype=np.float64)
+        self.y1 = np.empty(capacity, dtype=np.float64)
+        self.x2 = np.empty(capacity, dtype=np.float64)
+        self.y2 = np.empty(capacity, dtype=np.float64)
+        self.w = np.empty(capacity, dtype=np.float64) if with_w else None
+        self.seq = np.empty(capacity, dtype=np.int64) if with_seq else None
+        self.lo = 0
+        self.hi = 0
+
+    @classmethod
+    def from_graph(cls, graph: "CellGraph") -> "RectColumns":
+        """Mirror an existing cell graph (lazy creation on first visit)."""
+        cols = cls(capacity=max(8, 2 * len(graph)), with_seq=True)
+        for v in graph.iter_vertices():
+            r = v.wr.rect
+            cols.append(r.x1, r.y1, r.x2, r.y2, seq=v.seq)
+        return cols
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def _arrays(self) -> list:
+        out = [self.x1, self.y1, self.x2, self.y2]
+        if self.w is not None:
+            out.append(self.w)
+        if self.seq is not None:
+            out.append(self.seq)
+        return out
+
+    def _reserve(self, extra: int) -> None:
+        np = _np
+        cap = self.x1.shape[0]
+        lo = self.lo
+        hi = self.hi
+        live = hi - lo
+        if hi + extra <= cap:
+            return
+        if live + extra <= cap and lo >= cap // 2:
+            # compact in place: the dead prefix is at least half the array
+            for arr in self._arrays():
+                arr[:live] = arr[lo:hi]
+        else:
+            new_cap = max(cap, 8)
+            while new_cap < live + extra:
+                new_cap *= 2
+            for name in ("x1", "y1", "x2", "y2", "w", "seq"):
+                arr = getattr(self, name)
+                if arr is None:
+                    continue
+                grown = np.empty(new_cap, dtype=arr.dtype)
+                grown[:live] = arr[lo:hi]
+                setattr(self, name, grown)
+        self.lo = 0
+        self.hi = live
+
+    def append(
+        self, x1: float, y1: float, x2: float, y2: float,
+        w: float = 0.0, seq: int = 0,
+    ) -> None:
+        self._reserve(1)
+        hi = self.hi
+        self.x1[hi] = x1
+        self.y1[hi] = y1
+        self.x2[hi] = x2
+        self.y2[hi] = y2
+        if self.w is not None:
+            self.w[hi] = w
+        if self.seq is not None:
+            self.seq[hi] = seq
+        self.hi = hi + 1
+
+    def extend(self, x1, y1, x2, y2, w=None, seq=None) -> None:
+        """Block-append parallel arrays (or sequences) of coordinates."""
+        n = len(x1)
+        if n == 0:
+            return
+        self._reserve(n)
+        hi = self.hi
+        end = hi + n
+        self.x1[hi:end] = x1
+        self.y1[hi:end] = y1
+        self.x2[hi:end] = x2
+        self.y2[hi:end] = y2
+        if self.w is not None:
+            self.w[hi:end] = w
+        if self.seq is not None:
+            self.seq[hi:end] = seq
+        self.hi = end
+
+    def popleft(self, n: int) -> None:
+        """Drop the ``n`` oldest entries (count-window expiry)."""
+        self.lo = min(self.lo + n, self.hi)
+
+    def trim_expired(self, expired_upto: int) -> None:
+        """Drop entries with ``seq <= expired_upto`` from the front.
+
+        Sequence numbers are strictly increasing in arrival order, so
+        the expired prefix is found with one ``searchsorted``.
+        """
+        lo = self.lo
+        hi = self.hi
+        if lo == hi or self.seq[lo] > expired_upto:
+            return
+        cut = int(
+            _np.searchsorted(self.seq[lo:hi], expired_upto, side="right")
+        )
+        self.lo = lo + cut
+
+    def columns(self) -> tuple:
+        """Live ``(x1, y1, x2, y2)`` coordinate views, oldest first."""
+        lo = self.lo
+        hi = self.hi
+        return (
+            self.x1[lo:hi], self.y1[lo:hi], self.x2[lo:hi], self.y2[lo:hi]
+        )
+
+    def sweep_columns(self) -> tuple:
+        """Live ``(x1, y1, x2, y2, w)`` views for a full plane sweep."""
+        lo = self.lo
+        hi = self.hi
+        return (
+            self.x1[lo:hi],
+            self.y1[lo:hi],
+            self.x2[lo:hi],
+            self.y2[lo:hi],
+            self.w[lo:hi],
+        )
+
+
+# -- batched overlap computation -----------------------------------------
+
+
+def connect_batch(
+    graph: "CellGraph",
+    cols: RectColumns,
+    pending: Sequence[tuple[int, WeightedRect]],
+    expired_upto: int,
+) -> tuple[list["Vertex"], list[list["Vertex"]]]:
+    """Batched ``CellGraph.connect`` over a cell's pending rectangles.
+
+    Byte-identical to the reference per-pending loop: the same edges are
+    wired in the same order (older vertices in graph order, then earlier
+    pending inserts), so every ``vertex.upper`` accumulates its weights
+    in the reference float order.  The overlap predicate runs as one
+    broadcast comparison over ``cols`` (the cell's coordinate mirror,
+    synced here against expiry) instead of ``V x P`` Python calls.
+
+    Returns ``(new_vertices, touched_lists)`` where ``touched_lists[j]``
+    is the list of older vertices that gained an edge from pending ``j``.
+    """
+    from repro.core.graph import Vertex
+
+    np = _np
+    cols.trim_expired(expired_upto)
+    V = len(graph)
+    if len(cols) != V:  # pragma: no cover - defensive; invariant by design
+        raise InvalidParameterError(
+            f"cell column mirror out of sync: {len(cols)} != {V} vertices"
+        )
+    lx1: list[float] = []
+    ly1: list[float] = []
+    lx2: list[float] = []
+    ly2: list[float] = []
+    seqs: list[int] = []
+    for seq, wr in pending:
+        r = wr.rect
+        lx1.append(r.x1)
+        ly1.append(r.y1)
+        lx2.append(r.x2)
+        ly2.append(r.y2)
+        seqs.append(seq)
+    px1 = np.array(lx1, dtype=np.float64)
+    py1 = np.array(ly1, dtype=np.float64)
+    px2 = np.array(lx2, dtype=np.float64)
+    py2 = np.array(ly2, dtype=np.float64)
+    vx1, vy1, vx2, vy2 = cols.columns()
+    rx1 = np.concatenate((vx1, px1))
+    ry1 = np.concatenate((vy1, py1))
+    rx2 = np.concatenate((vx2, px2))
+    ry2 = np.concatenate((vy2, py2))
+    pdeg = (px1 == px2) | (py1 == py2)
+    rdeg = (rx1 == rx2) | (ry1 == ry2)
+    # strict-interior overlap of every (older-or-earlier row, pending col)
+    mask = (
+        (rx1[:, None] < px2[None, :])
+        & (px1[None, :] < rx2[:, None])
+        & (ry1[:, None] < py2[None, :])
+        & (py1[None, :] < ry2[:, None])
+    )
+    mask &= ~rdeg[:, None]
+    mask &= ~pdeg[None, :]
+    # column-major edge list; keep only rows older than the insert
+    # (row V + j is pending j itself and later pendings)
+    cj_a, ri_a = np.nonzero(mask.T)
+    if cj_a.size:
+        keep = ri_a < V + cj_a
+        cj = cj_a[keep].tolist()
+        ri = ri_a[keep].tolist()
+    else:
+        cj = []
+        ri = []
+    allv: list[Vertex] = list(graph.vertices)
+    new_vertices: list[Vertex] = []
+    touched_lists: list[list[Vertex]] = []
+    n_edges = len(cj)
+    pos = 0
+    for j, (seq, wr) in enumerate(pending):
+        weight = wr.weight
+        touched: list[Vertex] = []
+        tpush = touched.append
+        while pos < n_edges and cj[pos] == j:
+            v = allv[ri[pos]]
+            v.neighbors.append(wr)
+            v.upper += weight
+            v.dirty = True
+            tpush(v)
+            pos += 1
+        vert = Vertex(wr, seq)
+        graph.append_raw(vert)
+        allv.append(vert)
+        new_vertices.append(vert)
+        touched_lists.append(touched)
+    cols.extend(px1, py1, px2, py2, seq=seqs)
+    return new_vertices, touched_lists
+
+
+# -- columnar plane sweep ------------------------------------------------
+
+# A tiny private tree pool, mirroring the one in repro.core.planesweep
+# (which imports this module; sharing its pool would create a cycle).
+_TREE_POOL: list[MaxCoverSegmentTree] = []
+_POOL_MAX = 2
+
+_NEG_INF = float("-inf")
+
+
+def _acquire_tree(size: int) -> MaxCoverSegmentTree:
+    if _TREE_POOL:
+        tree = _TREE_POOL.pop()
+        tree.reset(size)
+        return tree
+    return MaxCoverSegmentTree(size)
+
+
+def _release_tree(tree: MaxCoverSegmentTree) -> None:
+    if len(_TREE_POOL) < _POOL_MAX:
+        _TREE_POOL.append(tree)
+
+
+def _sweep_events_array(n_slots, ey, ekind, elo, ehi, ew):
+    """Array-backed max-cover segment tree driven over sorted events.
+
+    A jittable replica of :class:`MaxCoverSegmentTree` plus the
+    ``_iter_y_groups`` strip loop: the node arrays, the three descent
+    loops of ``add`` and the reversed-spine pull-up are transcribed
+    operation for operation, so every float lands through the same
+    sequence of IEEE-754 additions as the reference.  Runs under numba
+    ``njit`` when importable; as plain Python over numpy arrays it is
+    correct but slower than the list-based tree, so the un-jitted sweep
+    routes to the reference kernel instead (this function stays covered
+    by the differential tests either way).
+
+    Returns ``(found, best_w, best_slot, best_y, best_y_next)``.
+    """
+    # _np is referenced directly (not aliased) so numba can resolve the
+    # module as a compile-time constant
+    cap = 4 * n_slots
+    mx = _np.zeros(cap, _np.float64)
+    adds = _np.zeros(cap, _np.float64)
+    arg = _np.zeros(cap, _np.int64)
+    # argmax of every subtree starts at its leftmost slot; propagate the
+    # mid-split intervals top-down (children have larger indices)
+    na = _np.zeros(cap, _np.int64)
+    nb = _np.zeros(cap, _np.int64)
+    valid = _np.zeros(cap, _np.bool_)
+    valid[1] = True
+    nb[1] = n_slots - 1
+    for node in range(1, cap):
+        if not valid[node]:
+            continue
+        a = na[node]
+        b = nb[node]
+        arg[node] = a
+        if a != b:
+            mid = (a + b) >> 1
+            child = node + node
+            valid[child] = True
+            na[child] = a
+            nb[child] = mid
+            valid[child + 1] = True
+            na[child + 1] = mid + 1
+            nb[child + 1] = b
+    path = _np.zeros(256, _np.int64)
+    found = False
+    best_w = -_np.inf
+    best_slot = -1
+    best_y = 0.0
+    best_next = 0.0
+    n_ev = ey.shape[0]
+    i = 0
+    while i < n_ev:
+        y = ey[i]
+        inserted = False
+        while i < n_ev and ey[i] == y:
+            lo = elo[i]
+            hi = ehi[i]
+            if ekind[i] == 1:
+                delta = ew[i]
+                inserted = True
+            else:
+                delta = -ew[i]
+            # -- inline MaxCoverSegmentTree.add(lo, hi, delta) ----------
+            plen = 0
+            node = 1
+            a = 0
+            b = n_slots - 1
+            while True:
+                if lo <= a and b <= hi:
+                    mx[node] += delta
+                    adds[node] += delta
+                    break
+                path[plen] = node
+                plen += 1
+                mid = (a + b) >> 1
+                if hi <= mid:
+                    node += node
+                    b = mid
+                elif lo > mid:
+                    node += node + 1
+                    a = mid + 1
+                else:
+                    n2 = node + node
+                    a2 = a
+                    b2 = mid
+                    while lo > a2:
+                        path[plen] = n2
+                        plen += 1
+                        m = (a2 + b2) >> 1
+                        n2 += n2
+                        if lo > m:
+                            n2 += 1
+                            a2 = m + 1
+                        else:
+                            rc = n2 + 1
+                            mx[rc] += delta
+                            adds[rc] += delta
+                            b2 = m
+                    mx[n2] += delta
+                    adds[n2] += delta
+                    n3 = node + node + 1
+                    a3 = mid + 1
+                    b3 = b
+                    while hi < b3:
+                        path[plen] = n3
+                        plen += 1
+                        m = (a3 + b3) >> 1
+                        n3 += n3
+                        if hi <= m:
+                            b3 = m
+                        else:
+                            mx[n3] += delta
+                            adds[n3] += delta
+                            n3 += 1
+                            a3 = m + 1
+                    mx[n3] += delta
+                    adds[n3] += delta
+                    break
+            for p in range(plen - 1, -1, -1):
+                node = path[p]
+                child = node + node
+                lmax = mx[child]
+                rmax = mx[child + 1]
+                lz = adds[node]
+                if lmax >= rmax:  # leftmost tie-break
+                    mx[node] = lmax + lz
+                    arg[node] = arg[child]
+                else:
+                    mx[node] = rmax + lz
+                    arg[node] = arg[child + 1]
+            i += 1
+        if inserted and i < n_ev:
+            value = mx[1]
+            if value > best_w:
+                best_w = value
+                best_slot = arg[1]
+                best_y = y
+                best_next = ey[i]
+                found = True
+    return found, best_w, best_slot, best_y, best_next
+
+
+# jit compilation state: checked/compiled once, on first vector sweep
+_JIT_STATE: dict[str, object] = {"checked": False, "kernel": None}
+
+
+def _get_jit_kernel():
+    """The numba-compiled event kernel, or None when numba is absent."""
+    if not _JIT_STATE["checked"]:
+        _JIT_STATE["checked"] = True
+        if HAVE_NUMBA:
+            try:  # pragma: no cover - requires numba in the environment
+                from numba import njit
+
+                _JIT_STATE["kernel"] = njit(cache=True, nogil=True)(
+                    _sweep_events_array
+                )
+            except Exception:
+                _JIT_STATE["kernel"] = None
+    return _JIT_STATE["kernel"]
+
+
+def _apply_events_listtree(n_slots, ey, ekind, elo, ehi, ew):
+    """Reference-kernel event application over pre-sorted columnar events.
+
+    Used when numba is absent: the numpy side still builds and orders
+    the events, the pooled list-based tree applies them.  Logic mirrors
+    ``planesweep._iter_y_groups`` + the best-strip tracking of
+    ``sweep_items_max``.
+    """
+    tree = _acquire_tree(n_slots)
+    try:
+        add = tree.add
+        mx = tree._mx
+        arg = tree._arg
+        found = False
+        best_w = _NEG_INF
+        best_slot = -1
+        best_y = 0.0
+        best_next = 0.0
+        n_ev = len(ey)
+        i = 0
+        while i < n_ev:
+            y = ey[i]
+            inserted = False
+            while i < n_ev and ey[i] == y:
+                if ekind[i] == 1:
+                    add(elo[i], ehi[i], ew[i])
+                    inserted = True
+                else:
+                    add(elo[i], ehi[i], -ew[i])
+                i += 1
+            if inserted and i < n_ev:
+                value = mx[1]
+                if value > best_w:
+                    best_w = value
+                    best_slot = arg[1]
+                    best_y = y
+                    best_next = ey[i]
+                    found = True
+    finally:
+        _release_tree(tree)
+    return found, best_w, best_slot, best_y, best_next
+
+
+def sweep_columns_max(x1, y1, x2, y2, w) -> tuple[float, Rect] | None:
+    """Columnar ``sweep_items_max``: one-shot MaxRS over coordinate arrays.
+
+    Event construction is fully vectorised — slot coordinates via
+    ``np.unique``, slot indices via ``searchsorted``, event order via
+    ``np.lexsort`` over the strict total order ``(y, kind, seq)`` that
+    the reference tuple sort uses.  Event application goes through the
+    jitted array kernel when numba is importable, else through the
+    pooled reference tree; both produce bit-identical answers.
+    """
+    np = _np
+    live = (x1 != x2) & (y1 != y2)
+    if not live.all():
+        x1 = x1[live]
+        y1 = y1[live]
+        x2 = x2[live]
+        y2 = y2[live]
+        w = w[live]
+    m = x1.shape[0]
+    if m == 0:
+        return None
+    xs = np.unique(np.concatenate((x1, x2)))
+    lo = np.searchsorted(xs, x1)
+    hi = np.searchsorted(xs, x2) - 1
+    n_slots = max(1, xs.shape[0] - 1)
+    ey = np.concatenate((y1, y2))
+    ekind = np.concatenate(
+        (np.ones(m, dtype=np.int64), np.zeros(m, dtype=np.int64))
+    )
+    seq = np.arange(m, dtype=np.int64)
+    eseq = np.concatenate((seq, seq))
+    elo = np.concatenate((lo, lo))
+    ehi = np.concatenate((hi, hi))
+    ew = np.concatenate((w, w))
+    order = np.lexsort((eseq, ekind, ey))
+    ey = ey[order]
+    ekind = ekind[order]
+    elo = elo[order]
+    ehi = ehi[order]
+    ew = ew[order]
+    kernel = _get_jit_kernel()
+    if kernel is not None:  # pragma: no cover - requires numba
+        found, best_w, best_slot, best_y, best_next = kernel(
+            n_slots, ey, ekind, elo, ehi, ew
+        )
+    else:
+        found, best_w, best_slot, best_y, best_next = (
+            _apply_events_listtree(
+                n_slots,
+                ey.tolist(),
+                ekind.tolist(),
+                elo.tolist(),
+                ehi.tolist(),
+                ew.tolist(),
+            )
+        )
+    if not found:
+        return None
+    slot = int(best_slot)
+    rect = Rect(
+        float(xs[slot]), float(best_y), float(xs[slot + 1]), float(best_next)
+    )
+    return float(best_w), rect
+
+
+def sweep_items_max_columns(
+    items: Sequence[tuple[Rect, float]],
+) -> tuple[float, Rect] | None:
+    """Columnar sweep over ``(rect, weight)`` pairs (the planesweep seam)."""
+    np = _np
+    lx1: list[float] = []
+    ly1: list[float] = []
+    lx2: list[float] = []
+    ly2: list[float] = []
+    lw: list[float] = []
+    for rect, weight in items:
+        lx1.append(rect.x1)
+        ly1.append(rect.y1)
+        lx2.append(rect.x2)
+        ly2.append(rect.y2)
+        lw.append(weight)
+    return sweep_columns_max(
+        np.array(lx1, dtype=np.float64),
+        np.array(ly1, dtype=np.float64),
+        np.array(lx2, dtype=np.float64),
+        np.array(ly2, dtype=np.float64),
+        np.array(lw, dtype=np.float64),
+    )

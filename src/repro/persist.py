@@ -96,7 +96,11 @@ def _window_from_spec(spec: dict[str, Any]) -> SlidingWindow:
 def snapshot(monitor: MaxRSMonitor) -> dict[str, Any]:
     """Serialisable state of a monitor: configuration + alive objects."""
     kind = _monitor_kind(monitor)
-    extra: dict[str, Any] = {}
+    # every monitor kind accepts backend=; restoring a numpy snapshot on
+    # a host without numpy raises the same typed InvalidParameterError
+    # as constructing such a monitor directly (naming the [vector]
+    # extra), rather than silently changing compute backends
+    extra: dict[str, Any] = {"backend": monitor.backend}
     if isinstance(monitor, TopKAG2Monitor):
         extra["k"] = monitor.k
         extra["cell_size"] = monitor.grid.cell_size
